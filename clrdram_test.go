@@ -1,0 +1,87 @@
+package clrdram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeConfigs(t *testing.T) {
+	if Baseline().Enabled {
+		t.Fatal("Baseline must be the unmodified device")
+	}
+	c := CLR(0.5)
+	if !c.Enabled || c.HPFraction != 0.5 || c.REFWms != 64 || !c.EarlyTermination {
+		t.Fatalf("CLR(0.5) = %+v", c)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Workloads()) != 71 || len(RealWorkloads()) != 41 || len(SyntheticWorkloads()) != 30 {
+		t.Fatal("workload inventory wrong")
+	}
+	if _, ok := WorkloadByName("429.mcf-like"); !ok {
+		t.Fatal("mcf-like missing")
+	}
+	groups := MixGroups(1, 2)
+	if len(groups) != 3 {
+		t.Fatal("mix groups wrong")
+	}
+}
+
+func TestFacadeTimingTable(t *testing.T) {
+	tab := DefaultTable()
+	if tab.Baseline.RCD != 13.8 {
+		t.Fatal("default table is not the paper's Table 1")
+	}
+}
+
+func TestFacadeAreaAndCapacity(t *testing.T) {
+	_, _, total := DefaultAreaModel().Overhead()
+	if math.Abs(total-0.032) > 0.002 {
+		t.Fatalf("area overhead %v, want ≈3.2%%", total)
+	}
+	if CapacityFactor(1.0) != 0.5 {
+		t.Fatal("full-HP capacity factor should be 0.5")
+	}
+}
+
+func TestFacadeRowModeMap(t *testing.T) {
+	m := NewRowModeMap(16, 1024)
+	m.SetHighPerf(3, 100, true)
+	if m.HPCount() != 1 {
+		t.Fatal("RowModeMap wiring broken")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	opts := DefaultOptions()
+	opts.TargetInstructions = 20_000
+	opts.WarmupRecords = 5_000
+	opts.ProfileRecords = 2_000
+	p, _ := WorkloadByName("random_00")
+	base, err := RunSingle(p, Baseline(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clr, err := RunSingle(p, CLR(1.0), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clr.PerCore[0].IPC() <= base.PerCore[0].IPC() {
+		t.Fatalf("CLR (%.3f IPC) should beat baseline (%.3f IPC) on random_00",
+			clr.PerCore[0].IPC(), base.PerCore[0].IPC())
+	}
+}
+
+func TestFacadeCircuitTable(t *testing.T) {
+	tab, err := BuildTimingTable(DefaultCircuitParams(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Source != "circuit-simulation" {
+		t.Fatal("wrong source")
+	}
+	if tab.HighPerfET.RCD >= tab.Baseline.RCD {
+		t.Fatal("circuit table lost the high-performance advantage")
+	}
+}

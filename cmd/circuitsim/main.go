@@ -1,0 +1,120 @@
+// Command circuitsim regenerates the paper's circuit-level results from the
+// transient subarray model (the SPICE substitute):
+//
+//	circuitsim -table1            Table 1: timing parameters per mode
+//	circuitsim -fig7              Figure 7: activate+precharge waveforms
+//	circuitsim -fig8              Figure 8: restoration tail / early term.
+//	circuitsim -fig11             Figure 11: tRCD/tRAS vs refresh window
+//	circuitsim -emit-timings      machine-readable timing table
+//
+// -iters controls the Monte Carlo draw count (paper: 10000; default 200 for
+// interactive use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clrdram/internal/spice"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "regenerate Table 1")
+		fig7   = flag.Bool("fig7", false, "regenerate Figure 7 waveforms")
+		fig8   = flag.Bool("fig8", false, "regenerate Figure 8 (early termination)")
+		fig11  = flag.Bool("fig11", false, "regenerate Figure 11 (refresh window sweep)")
+		emit   = flag.Bool("emit-timings", false, "print the timing table in Go-literal form")
+		iters  = flag.Int("iters", 200, "Monte Carlo iterations per mode")
+		seed   = flag.Int64("seed", 1, "Monte Carlo seed")
+	)
+	flag.Parse()
+	if !*table1 && !*fig7 && !*fig8 && !*fig11 && !*emit {
+		*table1 = true
+	}
+	p := spice.Default()
+
+	if *table1 || *emit {
+		tab, err := spice.BuildTimingTable(p, spice.TableOptions{Iterations: *iters, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if *table1 {
+			fmt.Printf("Table 1 — timing parameters (circuit simulation, %d MC iterations)\n\n", *iters)
+			fmt.Printf("%-10s %9s %9s %14s %13s %10s\n", "Timing", "Baseline", "Max-Cap", "HP (w/o E.T.)", "HP (w/ E.T.)", "Reduction")
+			row := func(name string, b, m, hn, he float64) {
+				fmt.Printf("%-10s %9.1f %9.1f %14.1f %13.1f %9.1f%%\n", name, b, m, hn, he, (1-he/b)*100)
+			}
+			row("tRCD (ns)", tab.Baseline.RCD, tab.MaxCap.RCD, tab.HighPerfNoET.RCD, tab.HighPerfET.RCD)
+			row("tRAS (ns)", tab.Baseline.RAS, tab.MaxCap.RAS, tab.HighPerfNoET.RAS, tab.HighPerfET.RAS)
+			row("tRP  (ns)", tab.Baseline.RP, tab.MaxCap.RP, tab.HighPerfNoET.RP, tab.HighPerfET.RP)
+			row("tWR  (ns)", tab.Baseline.WR, tab.MaxCap.WR, tab.HighPerfNoET.WR, tab.HighPerfET.WR)
+			fmt.Printf("\nPaper reference reductions: tRCD 60.1%%, tRAS 64.2%%, tRP 46.4%%, tWR 35.2%%\n")
+		}
+		if *emit {
+			fmt.Printf("// TimingTable (source: %s)\n", tab.Source)
+			fmt.Printf("Baseline:     %+v\n", tab.Baseline)
+			fmt.Printf("MaxCap:       %+v\n", tab.MaxCap)
+			fmt.Printf("HighPerfNoET: %+v\n", tab.HighPerfNoET)
+			fmt.Printf("HighPerfET:   %+v\n", tab.HighPerfET)
+			for _, pt := range tab.REFWCurve {
+				fmt.Printf("REFW %3.0f ms: tRCD=%.2f tRAS=%.2f\n", pt.Ms, pt.RCD, pt.RAS)
+			}
+		}
+	}
+
+	if *fig7 {
+		fmt.Println("Figure 7 — SPICE-equivalent waveforms of activation + precharge")
+		for _, mode := range []spice.Mode{spice.ModeBaseline, spice.ModeHighPerf} {
+			samples, raw, err := spice.WaveformActPre(p, mode, 0.25e-9)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\n# %s (raw: tRCD=%.2fns tRAS=%.2fns tRP=%.2fns)\n", mode,
+				raw.RCD*1e9, raw.RASFull*1e9, raw.RP*1e9)
+			fmt.Println("t(ns)\tbitline\tbitline_bar\tcell\tcell_bar")
+			for _, s := range samples {
+				fmt.Printf("%.2f\t%.3f\t%.3f\t%.3f\t%.3f\n", s.T*1e9, s.BL, s.BLB, s.Cell, s.CellB)
+			}
+		}
+	}
+
+	if *fig8 {
+		fmt.Println("Figure 8 — charge-restoration tail and early termination (high-performance mode)")
+		s, err := spice.Build(p, spice.ModeHighPerf)
+		if err != nil {
+			fatal(err)
+		}
+		rec := &spice.Recorder{Every: 0.1e-9}
+		s.InitData(true, p.RestoreFrac*p.VDD)
+		act, err := s.Activate(rec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# tRAS full restoration: %.2f ns; with early termination: %.2f ns (%.1f%% saved)\n",
+			act.TRASFull*1e9, act.TRASET*1e9, (1-act.TRASET/act.TRASFull)*100)
+		fmt.Println("t(ns)\tcharged_cell\tdischarged_cell\tbitline\tbitline_bar")
+		for _, smp := range rec.Samples {
+			fmt.Printf("%.2f\t%.3f\t%.3f\t%.3f\t%.3f\n", smp.T*1e9, smp.Cell, smp.CellB, smp.BL, smp.BLB)
+		}
+	}
+
+	if *fig11 {
+		fmt.Println("Figure 11 — tRCD and tRAS vs refresh window (high-performance mode)")
+		tab, err := spice.BuildTimingTable(p, spice.TableOptions{Iterations: *iters, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("tREFW(ms)\ttRCD(ns)\ttRAS(ns)")
+		for _, pt := range tab.REFWCurve {
+			fmt.Printf("%.0f\t%.2f\t%.2f\n", pt.Ms, pt.RCD, pt.RAS)
+		}
+		fmt.Printf("# sweep ends at %.0f ms (sensing limit; paper: ≈204 ms)\n", tab.MaxREFWms())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "circuitsim:", err)
+	os.Exit(1)
+}

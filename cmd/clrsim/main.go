@@ -1,0 +1,158 @@
+// Command clrsim runs one system-level simulation: a single workload or a
+// four-workload mix on the paper's Table 2 system, under a chosen CLR-DRAM
+// configuration, and reports performance, DRAM energy/power and row-buffer
+// statistics.
+//
+//	clrsim -workload 429.mcf-like -hp 1.0
+//	clrsim -mix 429.mcf-like,470.lbm-like,random_00,stream_00 -hp 0.25
+//	clrsim -workload random_00 -hp 1.0 -refw 194 -instructions 2000000
+//	clrsim -trace my.trace -hp 0.5          # replay a tracegen file
+//	clrsim -workload random_00 -channels 2  # dual-channel system
+//	clrsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clrdram/internal/core"
+	"clrdram/internal/sim"
+	"clrdram/internal/trace"
+	"clrdram/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "", "single-core workload name (see -list)")
+		mixStr   = flag.String("mix", "", "comma-separated list of 4 workload names")
+		hp       = flag.Float64("hp", 0, "fraction of rows in high-performance mode (0..1)")
+		refw     = flag.Float64("refw", 64, "high-performance refresh window in ms")
+		noET     = flag.Bool("no-early-termination", false, "disable early termination of charge restoration")
+		basel    = flag.Bool("baseline", false, "run the unmodified DDR4 baseline instead of CLR-DRAM")
+		instrs   = flag.Uint64("instructions", 500_000, "instructions per core")
+		warmup   = flag.Int("warmup", 100_000, "warmup trace records per core")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		compare  = flag.Bool("compare", false, "also run the baseline and print normalized results")
+		traceF   = flag.String("trace", "", "run a trace file (tracegen format) instead of a named workload")
+		channels = flag.Int("channels", 1, "number of memory channels")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			class := "non-intensive"
+			if p.MemIntensive {
+				class = "memory-intensive"
+			}
+			fmt.Printf("%-24s %-8s footprint=%6.1fMiB %s\n",
+				p.Name, p.Pattern, float64(p.FootprintBytes())/(1<<20), class)
+		}
+		return
+	}
+
+	cfg := core.CLR(*hp)
+	cfg.REFWms = *refw
+	cfg.EarlyTermination = !*noET
+	if *basel {
+		cfg = core.Baseline()
+	}
+	opts := sim.DefaultOptions()
+	opts.TargetInstructions = *instrs
+	opts.WarmupRecords = *warmup
+	opts.Seed = *seed
+	opts.Channels = *channels
+
+	run := func(c core.Config) sim.Result {
+		var res sim.Result
+		var err error
+		switch {
+		case *mixStr != "":
+			names := strings.Split(*mixStr, ",")
+			if len(names) != 4 {
+				fatal(fmt.Errorf("-mix needs exactly 4 names, got %d", len(names)))
+			}
+			var m workload.Mix
+			m.Name = "cli"
+			for i, n := range names {
+				p, ok := workload.ByName(strings.TrimSpace(n))
+				if !ok {
+					fatal(fmt.Errorf("unknown workload %q", n))
+				}
+				m.Profiles[i] = p
+			}
+			res, err = sim.RunMix(m, c, opts)
+		case *traceF != "":
+			f, ferr := os.Open(*traceF)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			records, perr := trace.Parse(f)
+			f.Close()
+			if perr != nil {
+				fatal(perr)
+			}
+			p, werr := workload.FromRecords(*traceF, records)
+			if werr != nil {
+				fatal(werr)
+			}
+			res, err = sim.RunSingle(p, c, opts)
+		case *name != "":
+			p, ok := workload.ByName(*name)
+			if !ok {
+				fatal(fmt.Errorf("unknown workload %q (try -list)", *name))
+			}
+			res, err = sim.RunSingle(p, c, opts)
+		default:
+			fatal(fmt.Errorf("need -workload, -mix or -trace (or -list)"))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return res
+	}
+
+	res := run(cfg)
+	print := func(label string, r sim.Result) {
+		fmt.Printf("== %s (%s) ==\n", label, r.CLR)
+		for i, c := range r.PerCore {
+			fmt.Printf("core %d: IPC=%.3f MPKI=%.2f instructions=%d\n", i, c.IPC(), c.MPKI(), c.Instructions)
+		}
+		e := r.Energy
+		fmt.Printf("cycles: cpu=%d dram=%d  (timed out: %v)\n", r.CPUCycles, r.DRAMCycles, r.TimedOut)
+		fmt.Printf("DRAM energy: total=%.2f µJ (act/pre %.2f, rd/wr %.2f, io %.2f, refresh %.2f, background %.2f)\n",
+			e.Total()/1e6, e.ActPre/1e6, e.ReadWrite/1e6, e.IO/1e6, e.Refresh/1e6, e.Background/1e6)
+		fmt.Printf("DRAM power: %.1f mW\n", r.PowerMW)
+		rb := r.Mem.RowBuffer
+		fmt.Printf("row buffer: %.1f%% hits, %.1f%% misses, %.1f%% conflicts (of %d)\n",
+			pct(rb.Hits, rb.Total()), pct(rb.Misses, rb.Total()), pct(rb.Conflicts, rb.Total()), rb.Total())
+		fmt.Printf("commands: reads=%d writes=%d refreshes=%d timeout-closes=%d\n\n",
+			r.Mem.ReadsServed, r.Mem.WritesServed, r.Mem.Refreshes, r.Mem.TimeoutCloses)
+	}
+	print("run", res)
+
+	if *compare && !*basel {
+		base := run(core.Baseline())
+		print("baseline", base)
+		fmt.Println("== normalized to baseline ==")
+		for i := range res.PerCore {
+			fmt.Printf("core %d speedup: %.3f\n", i, res.PerCore[i].IPC()/base.PerCore[i].IPC())
+		}
+		fmt.Printf("DRAM energy: %.3f   DRAM power: %.3f\n",
+			res.Energy.Total()/base.Energy.Total(), res.PowerMW/base.PowerMW)
+	}
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command tracegen emits workload traces in the text format package trace
+// defines ("<bubble-count> <hex-address> <R|W>"), standing in for the
+// paper's Pintool trace generation.
+//
+//	tracegen -workload 429.mcf-like -n 100000 -o mcf.trace
+//	tracegen -workload stream_00 -n 50000          # to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clrdram/internal/trace"
+	"clrdram/internal/workload"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "", "workload name (see clrsim -list)")
+		n    = flag.Int("n", 100_000, "number of trace records")
+		out  = flag.String("o", "", "output file (default stdout)")
+		seed = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	p, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	records, err := trace.Collect(p.NewReader(*seed), *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, records); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

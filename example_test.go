@@ -1,0 +1,81 @@
+package clrdram_test
+
+import (
+	"fmt"
+
+	"clrdram"
+)
+
+// ExampleCapacityFactor shows the §6.1 capacity accounting: configuring X%
+// of rows as high-performance forfeits X/2% of device capacity.
+func ExampleCapacityFactor() {
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		fmt.Printf("%3.0f%% HP rows -> %5.1f%% capacity\n", frac*100, clrdram.CapacityFactor(frac)*100)
+	}
+	// Output:
+	//   0% HP rows -> 100.0% capacity
+	//  25% HP rows ->  87.5% capacity
+	//  50% HP rows ->  75.0% capacity
+	// 100% HP rows ->  50.0% capacity
+}
+
+// ExampleDefaultTable prints the paper's Table 1 headline reductions.
+func ExampleDefaultTable() {
+	tab := clrdram.DefaultTable()
+	fmt.Printf("tRCD: %.1f -> %.1f ns\n", tab.Baseline.RCD, tab.HighPerfET.RCD)
+	fmt.Printf("tRAS: %.1f -> %.1f ns\n", tab.Baseline.RAS, tab.HighPerfET.RAS)
+	fmt.Printf("tRP:  %.1f -> %.1f ns\n", tab.Baseline.RP, tab.HighPerfET.RP)
+	fmt.Printf("tWR:  %.1f -> %.1f ns\n", tab.Baseline.WR, tab.HighPerfET.WR)
+	// Output:
+	// tRCD: 13.8 -> 5.5 ns
+	// tRAS: 39.4 -> 14.1 ns
+	// tRP:  15.5 -> 8.3 ns
+	// tWR:  12.5 -> 8.1 ns
+}
+
+// ExampleNewAdvisor demonstrates the §6.1 capacity-vs-latency policy.
+func ExampleNewAdvisor() {
+	adv := clrdram.NewAdvisor(16 << 30) // 16 GiB device
+
+	// A memory-intensive workload with a small footprint: everything can
+	// run in high-performance mode.
+	small := clrdram.Demand{FootprintBytes: 2 << 30, MPKI: 25}
+	fmt.Println(adv.Recommend(small))
+
+	// A capacity-hungry workload: high-performance rows must be limited so
+	// the footprint still fits.
+	big := clrdram.Demand{FootprintBytes: 13 << 30, MPKI: 25}
+	fmt.Println(adv.Recommend(big))
+
+	// A cache-resident workload: no reason to give up capacity.
+	light := clrdram.Demand{FootprintBytes: 1 << 30, MPKI: 0.2}
+	fmt.Println(adv.Recommend(light))
+	// Output:
+	// CLR(hp=100%,tREFW=64ms,w/E.T.)
+	// CLR(hp=0%,tREFW=64ms,w/E.T.)
+	// CLR(hp=0%,tREFW=64ms,w/E.T.)
+}
+
+// ExampleSignalsFor shows the §3.3 isolation-transistor control encoding.
+func ExampleSignalsFor() {
+	fmt.Printf("max-capacity, any subarray: %+v\n", clrdram.SignalsFor(0, false))
+	fmt.Printf("high-perf, even subarray:   %+v\n", clrdram.SignalsFor(0, true))
+	fmt.Printf("high-perf, odd subarray:    %+v\n", clrdram.SignalsFor(1, true))
+	// Output:
+	// max-capacity, any subarray: {ISO1:true ISO2:false}
+	// high-perf, even subarray:   {ISO1:false ISO2:false}
+	// high-perf, odd subarray:    {ISO1:true ISO2:true}
+}
+
+// ExampleNewRowModeMap shows row-granularity reconfiguration bookkeeping.
+func ExampleNewRowModeMap() {
+	m := clrdram.NewRowModeMap(16, 1024)
+	m.SetHighPerf(0, 42, true)
+	m.SetHighPerf(3, 7, true)
+	fmt.Printf("high-performance rows: %d (%.3f%% of device)\n",
+		m.HPCount(), m.HPFraction()*100)
+	fmt.Printf("controller tracking cost: %d bits\n", m.StorageBits())
+	// Output:
+	// high-performance rows: 2 (0.012% of device)
+	// controller tracking cost: 16384 bits
+}

@@ -1,0 +1,3 @@
+module clrdram
+
+go 1.22

@@ -1,0 +1,255 @@
+// Package circuit is a small transient circuit simulator — the substrate
+// that replaces SPICE for the paper's circuit-level evaluation (§7). It
+// solves networks of capacitive nodes connected by resistors, square-law
+// MOSFETs and constant-current (leakage) elements with explicit fixed-step
+// integration: at every step each device stamps its current into its
+// terminal nodes and each floating node integrates dV = I·dt/C.
+//
+// Explicit integration is adequate here because a DRAM subarray is stiff
+// only at sub-picosecond scales: with the default 1 ps step, the fastest
+// time constant in the netlists of internal/spice (a strong write driver
+// into a bitline segment) is ≈50 ps, comfortably above the stability bound.
+// The integrator additionally guards against instability by clamping node
+// voltages to a configurable rail window and reporting divergence.
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a circuit node. Node 0 is always ground (0 V, driven).
+type Node int
+
+// Ground is the reference node.
+const Ground Node = 0
+
+// Device is anything that injects current into nodes as a function of the
+// node voltage vector.
+type Device interface {
+	// Stamp adds the device's terminal currents (amps, positive = into the
+	// node) to cur, given node voltages v.
+	Stamp(v []float64, cur []float64)
+}
+
+// Waveform drives a node's voltage as a function of time (seconds).
+type Waveform func(t float64) float64
+
+// DC returns a constant waveform.
+func DC(v float64) Waveform { return func(float64) float64 { return v } }
+
+// Step returns a waveform that is v0 before t0 and v1 after, with a linear
+// ramp of the given rise time.
+func Step(v0, v1, t0, rise float64) Waveform {
+	return func(t float64) float64 {
+		switch {
+		case t <= t0:
+			return v0
+		case t >= t0+rise:
+			return v1
+		default:
+			return v0 + (v1-v0)*(t-t0)/rise
+		}
+	}
+}
+
+// Circuit is a network under construction and simulation.
+type Circuit struct {
+	cap   []float64  // per-node capacitance to ground (F)
+	drive []Waveform // nil = floating node
+	v     []float64
+	cur   []float64
+	devs  []Device
+	names []string
+	t     float64
+	maxV  float64 // clamp window [-maxV, +maxV]
+}
+
+// New creates a circuit with only the ground node. maxV bounds node voltages
+// (e.g. 2× VDD) to catch runaway integration early.
+func New(maxV float64) *Circuit {
+	c := &Circuit{maxV: maxV}
+	g := c.AddNode("gnd", 1e-12)
+	if g != Ground {
+		panic("circuit: ground must be node 0")
+	}
+	c.Drive(Ground, DC(0))
+	return c
+}
+
+// AddNode creates a node with the given capacitance to ground (farads; must
+// be positive for floating nodes so integration is well-defined).
+func (c *Circuit) AddNode(name string, capF float64) Node {
+	if capF <= 0 {
+		panic(fmt.Sprintf("circuit: node %q needs positive capacitance", name))
+	}
+	c.cap = append(c.cap, capF)
+	c.drive = append(c.drive, nil)
+	c.v = append(c.v, 0)
+	c.cur = append(c.cur, 0)
+	c.names = append(c.names, name)
+	return Node(len(c.cap) - 1)
+}
+
+// AddCap adds extra capacitance to an existing node.
+func (c *Circuit) AddCap(n Node, capF float64) { c.cap[n] += capF }
+
+// Drive attaches a voltage waveform to a node (nil detaches, leaving the
+// node floating from its current voltage). The waveform takes effect
+// immediately at the current simulation time.
+func (c *Circuit) Drive(n Node, w Waveform) {
+	c.drive[n] = w
+	if w != nil {
+		c.v[n] = w(c.t)
+	}
+}
+
+// SetV sets a node's initial voltage.
+func (c *Circuit) SetV(n Node, v float64) { c.v[n] = v }
+
+// V returns a node's voltage.
+func (c *Circuit) V(n Node) float64 { return c.v[n] }
+
+// Time returns the simulation time in seconds.
+func (c *Circuit) Time() float64 { return c.t }
+
+// Name returns a node's name (for diagnostics).
+func (c *Circuit) Name(n Node) string { return c.names[n] }
+
+// Add registers a device.
+func (c *Circuit) Add(d Device) { c.devs = append(c.devs, d) }
+
+// Step advances the circuit by dt seconds. It returns an error if any node
+// voltage left the clamp window (integration blow-up) or went NaN.
+func (c *Circuit) Step(dt float64) error {
+	for i := range c.cur {
+		c.cur[i] = 0
+	}
+	for _, d := range c.devs {
+		d.Stamp(c.v, c.cur)
+	}
+	c.t += dt
+	for i := range c.v {
+		if w := c.drive[i]; w != nil {
+			c.v[i] = w(c.t)
+			continue
+		}
+		c.v[i] += c.cur[i] * dt / c.cap[i]
+		if math.IsNaN(c.v[i]) || c.v[i] > c.maxV || c.v[i] < -c.maxV {
+			return fmt.Errorf("circuit: node %q diverged to %v at t=%.3g s", c.names[i], c.v[i], c.t)
+		}
+	}
+	return nil
+}
+
+// RunUntil steps the circuit until stop returns true or tEnd is reached; it
+// returns the stop time and whether stop fired.
+func (c *Circuit) RunUntil(dt, tEnd float64, stop func(*Circuit) bool) (float64, bool, error) {
+	for c.t < tEnd {
+		if err := c.Step(dt); err != nil {
+			return c.t, false, err
+		}
+		if stop != nil && stop(c) {
+			return c.t, true, nil
+		}
+	}
+	return c.t, false, nil
+}
+
+// Resistor is a linear conductance between two nodes.
+type Resistor struct {
+	A, B Node
+	G    float64 // conductance in siemens (1/ohms)
+}
+
+// NewResistor builds a resistor from its resistance in ohms.
+func NewResistor(a, b Node, ohms float64) *Resistor {
+	return &Resistor{A: a, B: b, G: 1 / ohms}
+}
+
+// Stamp implements Device.
+func (r *Resistor) Stamp(v, cur []float64) {
+	i := r.G * (v[r.A] - v[r.B])
+	cur[r.A] -= i
+	cur[r.B] += i
+}
+
+// MOSFET is a square-law transistor. For NMOS, current flows from D to S
+// when Vgs > Vt; the model is symmetric in D/S (terminals swap when the
+// nominal Vds is negative), which the pass transistors in a DRAM array rely
+// on.
+type MOSFET struct {
+	D, G, S Node
+	K       float64 // transconductance A/V² (µCox·W/L)
+	Vt      float64 // threshold voltage (positive magnitude for both types)
+	PMOS    bool
+}
+
+// Stamp implements Device.
+func (m *MOSFET) Stamp(v, cur []float64) {
+	vd, vg, vs := v[m.D], v[m.G], v[m.S]
+	sign := 1.0
+	if m.PMOS {
+		// Mirror voltages: PMOS conducts when Vgs < -Vt.
+		vd, vg, vs = -vd, -vg, -vs
+		sign = -1
+	}
+	// Symmetric pass-gate handling: conduction is from the higher to the
+	// lower terminal; the effective source is the lower one.
+	d, s := vd, vs
+	flow := 1.0
+	if d < s {
+		d, s = s, d
+		flow = -1
+	}
+	vgs := vg - s
+	vov := vgs - m.Vt
+	if vov <= 0 {
+		return // off (subthreshold ignored; leakage modelled separately)
+	}
+	vds := d - s
+	var i float64
+	if vds < vov {
+		i = m.K * (vov*vds - vds*vds/2)
+	} else {
+		i = m.K / 2 * vov * vov
+	}
+	i *= flow * sign
+	// Current i flows D→S in original orientation.
+	cur[m.D] -= i
+	cur[m.S] += i
+}
+
+// CurrentSink drains a constant current from a node while its voltage is
+// positive (junction-leakage model: charge leaks toward the substrate and a
+// discharged cell cannot leak below ground).
+type CurrentSink struct {
+	N Node
+	I float64 // amps
+}
+
+// Stamp implements Device.
+func (s *CurrentSink) Stamp(v, cur []float64) {
+	if v[s.N] > 0 {
+		cur[s.N] -= s.I
+	}
+}
+
+// Switch is an ideal voltage-controlled conductance: G when the control
+// callback reports on, otherwise open. It models control circuitry (e.g. SA
+// enable) without gate dynamics.
+type Switch struct {
+	A, B Node
+	G    float64
+	On   func() bool
+}
+
+// Stamp implements Device.
+func (sw *Switch) Stamp(v, cur []float64) {
+	if sw.On == nil || !sw.On() {
+		return
+	}
+	i := sw.G * (v[sw.A] - v[sw.B])
+	cur[sw.A] -= i
+	cur[sw.B] += i
+}

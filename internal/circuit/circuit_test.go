@@ -1,0 +1,187 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRCDischarge(t *testing.T) {
+	// A capacitor discharging through a resistor must follow exp(-t/RC).
+	c := New(5)
+	n := c.AddNode("cap", 1e-12) // 1 pF
+	c.SetV(n, 1.0)
+	c.Add(NewResistor(n, Ground, 1e3)) // 1 kΩ → RC = 1 ns
+	_, _, err := c.RunUntil(1e-12, 1e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-1) // one time constant
+	if got := c.V(n); math.Abs(got-want) > 0.01 {
+		t.Fatalf("V after 1·RC = %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestDrivenNodeFollowsWaveform(t *testing.T) {
+	c := New(5)
+	n := c.AddNode("drv", 1e-15)
+	c.Drive(n, Step(0, 1, 1e-9, 1e-10))
+	c.RunUntil(1e-12, 0.5e-9, nil)
+	if c.V(n) != 0 {
+		t.Fatal("before step should be 0")
+	}
+	c.RunUntil(1e-12, 2e-9, nil)
+	if c.V(n) != 1 {
+		t.Fatalf("after step = %v, want 1", c.V(n))
+	}
+}
+
+func TestChargeSharing(t *testing.T) {
+	// Two capacitors connected by a resistor settle at the charge-weighted
+	// average voltage — the DRAM charge-sharing primitive.
+	c := New(5)
+	cell := c.AddNode("cell", 20e-15)
+	bl := c.AddNode("bl", 80e-15)
+	c.SetV(cell, 1.2)
+	c.SetV(bl, 0.6)
+	c.Add(NewResistor(cell, bl, 5e3))
+	c.RunUntil(1e-12, 20e-9, nil)
+	want := (1.2*20 + 0.6*80) / 100 // 0.72
+	if got := c.V(bl); math.Abs(got-want) > 0.005 {
+		t.Fatalf("shared voltage = %.4f, want %.4f", got, want)
+	}
+	if math.Abs(c.V(cell)-c.V(bl)) > 0.005 {
+		t.Fatal("cell and bitline should equalise")
+	}
+}
+
+func TestNMOSRegions(t *testing.T) {
+	m := &MOSFET{D: 1, G: 2, S: 0, K: 1e-4, Vt: 0.4}
+	v := []float64{0, 1.2, 0}
+	cur := make([]float64, 3)
+	// Gate at 0: off.
+	m.Stamp(v, cur)
+	if cur[1] != 0 {
+		t.Fatal("off transistor conducting")
+	}
+	// Saturation: Vgs=1.2, Vds=1.2 > Vov=0.8 → I = K/2·0.64.
+	v[2] = 1.2
+	m.Stamp(v, cur)
+	want := 1e-4 / 2 * 0.64
+	if math.Abs(-cur[1]-want) > 1e-9 {
+		t.Fatalf("saturation current = %v, want %v", -cur[1], want)
+	}
+	// Triode: small Vds.
+	cur = make([]float64, 3)
+	v[1] = 0.05
+	m.Stamp(v, cur)
+	wantTriode := 1e-4 * (0.8*0.05 - 0.05*0.05/2)
+	if math.Abs(-cur[1]-wantTriode) > 1e-9 {
+		t.Fatalf("triode current = %v, want %v", -cur[1], wantTriode)
+	}
+}
+
+func TestMOSFETSymmetric(t *testing.T) {
+	// Pass-gate: swap D/S voltages, current must reverse symmetrically.
+	m := &MOSFET{D: 1, G: 2, S: 3, K: 1e-4, Vt: 0.4}
+	fwd := make([]float64, 4)
+	rev := make([]float64, 4)
+	m.Stamp([]float64{0, 1.0, 2.0, 0.2}, fwd)
+	m.Stamp([]float64{0, 0.2, 2.0, 1.0}, rev)
+	// Swapping the terminal voltages must swap the terminal currents: the
+	// high-voltage terminal always sources the same magnitude.
+	if math.Abs(fwd[1]-rev[3]) > 1e-12 || math.Abs(fwd[3]-rev[1]) > 1e-12 {
+		t.Fatalf("asymmetric pass-gate: fwd=%v rev=%v", fwd, rev)
+	}
+	if fwd[1] >= 0 || fwd[3] <= 0 {
+		t.Fatalf("current direction wrong: fwd=%v", fwd)
+	}
+}
+
+func TestPMOSConductsWhenGateLow(t *testing.T) {
+	m := &MOSFET{D: 1, G: 2, S: 3, K: 1e-4, Vt: 0.4, PMOS: true}
+	cur := make([]float64, 4)
+	// Source at VDD, gate low, drain low: PMOS pulls drain up.
+	m.Stamp([]float64{0, 0, 0, 1.2}, cur)
+	if cur[1] <= 0 {
+		t.Fatalf("PMOS should source current into the drain, got %v", cur[1])
+	}
+	cur = make([]float64, 4)
+	// Gate high: off.
+	m.Stamp([]float64{0, 0, 1.2, 1.2}, cur)
+	if cur[1] != 0 {
+		t.Fatal("PMOS with gate at VDD should be off")
+	}
+}
+
+func TestLatchAmplifies(t *testing.T) {
+	// A cross-coupled inverter pair (the sense amplifier core) must amplify
+	// a small differential to full rail.
+	vdd := 1.2
+	c := New(5)
+	a := c.AddNode("a", 50e-15)
+	b := c.AddNode("b", 50e-15)
+	san := c.AddNode("san", 1e-15)
+	sap := c.AddNode("sap", 1e-15)
+	c.Drive(san, DC(0))
+	c.Drive(sap, DC(vdd))
+	k := 2e-4
+	c.Add(&MOSFET{D: a, G: b, S: san, K: k, Vt: 0.4})
+	c.Add(&MOSFET{D: b, G: a, S: san, K: k, Vt: 0.4})
+	c.Add(&MOSFET{D: a, G: b, S: sap, K: k, Vt: 0.4, PMOS: true})
+	c.Add(&MOSFET{D: b, G: a, S: sap, K: k, Vt: 0.4, PMOS: true})
+	c.SetV(a, vdd/2+0.05)
+	c.SetV(b, vdd/2-0.05)
+	_, _, err := c.RunUntil(1e-12, 30e-9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.V(a) < 0.95*vdd || c.V(b) > 0.05*vdd {
+		t.Fatalf("latch did not resolve: a=%.3f b=%.3f", c.V(a), c.V(b))
+	}
+}
+
+func TestCurrentSinkStopsAtGround(t *testing.T) {
+	c := New(5)
+	n := c.AddNode("cell", 20e-15)
+	c.SetV(n, 1.2)
+	c.Add(&CurrentSink{N: n, I: 1e-9})
+	// Discharge fully: 20 fF · 1.2 V / 1 nA = 24 µs; run 40 µs with a
+	// coarse step (pure linear decay tolerates it).
+	_, _, err := c.RunUntil(1e-9, 40e-6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.V(n) < -0.01 {
+		t.Fatalf("leakage dragged node below ground: %v", c.V(n))
+	}
+}
+
+func TestDivergenceDetected(t *testing.T) {
+	// An absurdly strong device with a huge step must be caught, not
+	// silently produce garbage.
+	c := New(2.4)
+	n := c.AddNode("x", 1e-15)
+	vdd := c.AddNode("vdd", 1e-15)
+	c.Drive(vdd, DC(1.2))
+	c.Add(NewResistor(n, vdd, 0.001)) // 1 mΩ into 1 fF: tau = 1 fs
+	err := c.Step(1e-9)
+	if err == nil {
+		t.Fatal("expected divergence error")
+	}
+}
+
+func TestStopPredicate(t *testing.T) {
+	c := New(5)
+	n := c.AddNode("cap", 1e-12)
+	vdd := c.AddNode("vdd", 1e-15)
+	c.Drive(vdd, DC(1.0))
+	c.Add(NewResistor(n, vdd, 1e3))
+	at, fired, err := c.RunUntil(1e-12, 10e-9, func(c *Circuit) bool { return c.V(n) >= 0.5 })
+	if err != nil || !fired {
+		t.Fatalf("stop did not fire: %v", err)
+	}
+	// 0→0.5 of a 1.0 target is 0.693·RC ≈ 0.693 ns.
+	if at < 0.6e-9 || at > 0.8e-9 {
+		t.Fatalf("crossing at %.3g s, want ≈0.69 ns", at)
+	}
+}

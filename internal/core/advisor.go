@@ -1,0 +1,91 @@
+package core
+
+import "math"
+
+// Advisor implements the capacity-vs-latency decision the paper leaves to
+// "the user or the system software" (§6.1): given a workload's measured
+// memory demand, pick the largest high-performance row fraction whose
+// remaining capacity still fits the demand, and refine it with the
+// page-access concentration of the workload (skewed workloads saturate
+// early — §8.2 observation 4 — so the advisor stops raising the fraction
+// once the marginal access coverage falls below a threshold).
+type Advisor struct {
+	// TotalCapacity is the device capacity in bytes at 0% HP rows.
+	TotalCapacity uint64
+	// Headroom is the fraction of capacity to keep free (page-fault
+	// avoidance margin, §6.1's "edge cases"); default 0.1.
+	Headroom float64
+	// MarginalCoverageFloor stops raising the HP fraction when one more
+	// 25% step adds less than this much access coverage; default 0.05.
+	MarginalCoverageFloor float64
+	// MinMPKI disables high-performance mode entirely for workloads that
+	// barely touch DRAM; default 1.0.
+	MinMPKI float64
+}
+
+// DefaultAdvisor returns an advisor for the given device capacity.
+func DefaultAdvisor(totalCapacity uint64) Advisor {
+	return Advisor{
+		TotalCapacity:         totalCapacity,
+		Headroom:              0.10,
+		MarginalCoverageFloor: 0.05,
+		MinMPKI:               1.0,
+	}
+}
+
+// Demand describes the workload the advisor plans for.
+type Demand struct {
+	FootprintBytes uint64
+	MPKI           float64
+	// Coverage returns the fraction of accesses captured by the top `frac`
+	// of pages (e.g. workload.Profile.CoverageOfTopFraction or a
+	// Profiler-derived curve). nil means uniform access is assumed.
+	Coverage func(frac float64) float64
+}
+
+// Recommend returns the suggested configuration.
+func (a Advisor) Recommend(d Demand) Config {
+	if d.MPKI < a.MinMPKI {
+		return CLR(0) // CLR hardware, everything max-capacity
+	}
+	headroom := a.Headroom
+	need := float64(d.FootprintBytes) * (1 + headroom)
+	cov := d.Coverage
+	if cov == nil {
+		cov = func(f float64) float64 { return f }
+	}
+	best := 0.0
+	prevCov := 0.0
+	for _, frac := range []float64{0.25, 0.50, 0.75, 1.00} {
+		// Capacity feasibility (§6.1: X% HP rows forfeit X/2% capacity).
+		if CapacityFactor(frac)*float64(a.TotalCapacity) < need {
+			break
+		}
+		// Diminishing returns: stop when the extra quarter of rows covers
+		// almost no additional accesses.
+		c := cov(frac)
+		if frac > 0.25 && c-prevCov < a.MarginalCoverageFloor {
+			break
+		}
+		prevCov = c
+		best = frac
+	}
+	return CLR(best)
+}
+
+// RecommendREFW suggests a refresh window for a configuration: workloads
+// that are refresh-energy sensitive (low access rates keep the rank idle,
+// so refresh dominates DRAM energy) get the longest safe window; highly
+// latency-sensitive workloads keep the 64 ms default because extended
+// windows raise tRCD/tRAS (§8.5). The decision threshold is MPKI-based.
+func (a Advisor) RecommendREFW(d Demand, table *TimingTable) float64 {
+	if table == nil {
+		table = DefaultTable()
+	}
+	if d.MPKI >= 10 {
+		return 64 // latency-bound: keep activation latency minimal
+	}
+	// Energy-bound: use the longest window the sensing limit allows,
+	// rounded down to a 10 ms step.
+	return math.Floor(table.MaxREFWms()/10) * 10
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const gib = uint64(1) << 30
+
+func TestAdvisorCapacityFeasibility(t *testing.T) {
+	a := DefaultAdvisor(16 * gib)
+	// Tiny footprint, memory-intensive, uniform access → everything HP.
+	cfg := a.Recommend(Demand{FootprintBytes: 1 * gib, MPKI: 20})
+	if cfg.HPFraction != 1.0 {
+		t.Fatalf("small footprint should get 100%% HP, got %v", cfg.HPFraction)
+	}
+	// Footprint needing >87.5% of capacity → at most 25% HP.
+	cfg = a.Recommend(Demand{FootprintBytes: 13 * gib, MPKI: 20})
+	if cfg.HPFraction > 0.25 {
+		t.Fatalf("13 GiB of 16 GiB should cap at 25%% HP, got %v", cfg.HPFraction)
+	}
+	// Footprint exceeding even the 0%-HP capacity (with headroom) → 0%.
+	cfg = a.Recommend(Demand{FootprintBytes: 15500 * (gib / 1000), MPKI: 20})
+	if cfg.HPFraction != 0 {
+		t.Fatalf("near-full footprint should disable HP, got %v", cfg.HPFraction)
+	}
+}
+
+func TestAdvisorLowMPKIDisablesHP(t *testing.T) {
+	a := DefaultAdvisor(16 * gib)
+	cfg := a.Recommend(Demand{FootprintBytes: gib, MPKI: 0.3})
+	if cfg.HPFraction != 0 {
+		t.Fatalf("cache-resident workload should stay max-capacity, got %v", cfg.HPFraction)
+	}
+	if !cfg.Enabled {
+		t.Fatal("advisor output should still be a CLR device")
+	}
+}
+
+func TestAdvisorDiminishingReturns(t *testing.T) {
+	a := DefaultAdvisor(16 * gib)
+	// Heavily skewed workload: top 25% of pages capture 90% of accesses —
+	// additional HP rows add <5% coverage each, so stop at 25%.
+	skewed := func(frac float64) float64 {
+		switch {
+		case frac >= 0.75:
+			return 0.97
+		case frac >= 0.5:
+			return 0.94
+		case frac >= 0.25:
+			return 0.90
+		default:
+			return 0
+		}
+	}
+	cfg := a.Recommend(Demand{FootprintBytes: gib, MPKI: 20, Coverage: skewed})
+	if cfg.HPFraction != 0.25 {
+		t.Fatalf("skewed workload should stop at 25%% HP, got %v", cfg.HPFraction)
+	}
+	// Near-uniform coverage keeps scaling to 100%.
+	cfg = a.Recommend(Demand{FootprintBytes: gib, MPKI: 20, Coverage: func(f float64) float64 { return f }})
+	if cfg.HPFraction != 1.0 {
+		t.Fatalf("uniform workload should scale to 100%%, got %v", cfg.HPFraction)
+	}
+}
+
+func TestAdvisorAlwaysReturnsValidConfig(t *testing.T) {
+	a := DefaultAdvisor(16 * gib)
+	f := func(fpRaw uint32, mpkiRaw uint16) bool {
+		d := Demand{
+			FootprintBytes: uint64(fpRaw) << 12, // up to 16 TiB of pages
+			MPKI:           float64(mpkiRaw) / 100.0,
+		}
+		cfg := a.Recommend(d)
+		if err := cfg.Validate(); err != nil {
+			return false
+		}
+		// Feasibility: the recommended fraction must leave room for the
+		// footprint (when it fits the device at all).
+		if d.FootprintBytes <= a.TotalCapacity/2 {
+			return CapacityFactor(cfg.HPFraction)*float64(a.TotalCapacity) >=
+				float64(d.FootprintBytes)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecommendREFW(t *testing.T) {
+	a := DefaultAdvisor(16 * gib)
+	if refw := a.RecommendREFW(Demand{MPKI: 50}, nil); refw != 64 {
+		t.Fatalf("latency-bound workload should keep 64 ms, got %v", refw)
+	}
+	refw := a.RecommendREFW(Demand{MPKI: 2}, nil)
+	if refw <= 64 || refw > DefaultTable().MaxREFWms() {
+		t.Fatalf("energy-bound workload should extend the window: got %v", refw)
+	}
+	// The recommended window must be usable.
+	if _, err := DefaultTable().HighPerfAt(refw, true); err != nil {
+		t.Fatalf("recommended window %v unusable: %v", refw, err)
+	}
+}

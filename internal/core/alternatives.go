@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"clrdram/internal/dram"
+)
+
+// Design identifies a DRAM architecture in the §9 comparison set.
+type Design int
+
+// The compared designs.
+const (
+	// DesignCLRDRAM is the paper's contribution: dynamic row-granularity
+	// reconfiguration with coupled cells AND coupled SAs/precharge units.
+	DesignCLRDRAM Design = iota
+	// DesignTwinCell statically couples every two cells (half capacity,
+	// always) but drives them with a single SA — no tRP/tWR/coupled-drive
+	// benefit (Takemura et al.; Hsu et al.'s interchangeable variant shares
+	// the single-SA limitation).
+	DesignTwinCell
+	// DesignMCR activates two clone rows to double the cell charge on one
+	// bitline (half capacity at clone factor 2); single SA, no precharge
+	// coupling (Choi et al., ISCA 2015).
+	DesignMCR
+	// DesignTLDRAM statically partitions each bitline into a fast near
+	// segment (1/64 of rows here) and a slow far segment (Lee et al., HPCA
+	// 2013). Capacity is preserved; the fast region is small and fixed.
+	DesignTLDRAM
+)
+
+// String names the design.
+func (d Design) String() string {
+	return [...]string{"CLR-DRAM", "Twin-Cell", "MCR-DRAM", "TL-DRAM"}[d]
+}
+
+// Alternative describes one §9 design as this library can execute it: a
+// fast-row timing set, how many rows are fast, and what it costs in
+// capacity. CLR-DRAM is expressible in the same terms for any HP fraction,
+// making the comparison apples-to-apples on identical infrastructure.
+type Alternative struct {
+	Design Design
+	Name   string
+	// FastTiming applies to rows below FastFraction·rows; SlowTiming to
+	// the rest.
+	FastTiming dram.TimingNS
+	SlowTiming dram.TimingNS
+	// FastFraction is the fraction of rows that are fast. For the static
+	// designs this is fixed at manufacture; CLR-DRAM chooses it at run
+	// time.
+	FastFraction float64
+	// CapacityFactor is the usable-capacity fraction of the whole device.
+	CapacityFactor float64
+	// Dynamic marks run-time reconfigurability (CLR-DRAM only).
+	Dynamic bool
+}
+
+// TLDRAMNearRows is the modelled TL-DRAM near-segment share of all rows.
+// Lee et al. dedicate a small fraction of each subarray (their near segment
+// is 32 of 512 rows); 1/16 here.
+const TLDRAMNearRows = 1.0 / 16
+
+// DefaultAlternatives returns the comparison set with timing parameters
+// derived from this repository's circuit model (internal/spice's
+// comparison topologies), calibrated against the paper's baseline column.
+// Regenerate with spice.BuildAlternativeTimings.
+func DefaultAlternatives(clrFraction float64) ([]Alternative, error) {
+	if clrFraction < 0 || clrFraction > 1 {
+		return nil, fmt.Errorf("core: CLR fraction %v outside [0,1]", clrFraction)
+	}
+	base := dram.DDR4BaselineNS()
+
+	// Circuit-derived values (see EXPERIMENTS.md §9 table): ratios from the
+	// comparison topologies applied to the paper-calibrated baseline.
+	scale := func(rcd, ras, rp, wr float64) dram.TimingNS {
+		t := base
+		t.RCD = base.RCD * rcd
+		t.RAS = base.RAS * ras
+		t.RP = base.RP * rp
+		t.WR = base.WR * wr
+		return t
+	}
+	twin := scale(0.66, 0.89, 1.00, 1.01)
+	mcr := scale(0.73, 1.00, 1.00, 1.20)
+	tl := scale(0.37, 0.31, 0.18, 0.31)
+
+	return []Alternative{
+		{
+			Design:         DesignCLRDRAM,
+			Name:           fmt.Sprintf("CLR-DRAM (%.0f%% HP)", clrFraction*100),
+			FastTiming:     dram.HighPerfNS(true),
+			SlowTiming:     dram.MaxCapNS(),
+			FastFraction:   clrFraction,
+			CapacityFactor: CapacityFactor(clrFraction),
+			Dynamic:        true,
+		},
+		{
+			Design:         DesignTwinCell,
+			Name:           "Twin-Cell (static)",
+			FastTiming:     twin,
+			SlowTiming:     twin, // every row is a twin-cell row
+			FastFraction:   1,
+			CapacityFactor: 0.5,
+		},
+		{
+			Design:         DesignMCR,
+			Name:           "MCR-DRAM (2 clones)",
+			FastTiming:     mcr,
+			SlowTiming:     mcr,
+			FastFraction:   1,
+			CapacityFactor: 0.5,
+		},
+		{
+			Design:         DesignTLDRAM,
+			Name:           "TL-DRAM (near segment)",
+			FastTiming:     tl,
+			SlowTiming:     base, // far segment ≈ baseline
+			FastFraction:   TLDRAMNearRows,
+			CapacityFactor: 1,
+		},
+	}, nil
+}
+
+// Config converts an Alternative into a runnable core.Config by expressing
+// its fast/slow split through the CLR machinery: fast rows use the
+// high-performance timing slot, slow rows the max-capacity slot.
+func (a Alternative) Config() Config {
+	tab := DefaultTable()
+	t := &TimingTable{
+		Baseline:     tab.Baseline,
+		MaxCap:       a.SlowTiming,
+		HighPerfET:   a.FastTiming,
+		HighPerfNoET: a.FastTiming,
+		REFWCurve:    tab.REFWCurve, // 64 ms is the only point used
+		Source:       "alternative:" + a.Name,
+	}
+	return Config{
+		Enabled:          true,
+		HPFraction:       a.FastFraction,
+		REFWms:           64,
+		EarlyTermination: a.Design == DesignCLRDRAM,
+		Table:            t,
+	}
+}

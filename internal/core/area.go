@@ -1,0 +1,57 @@
+package core
+
+// AreaModel computes CLR-DRAM's DRAM-chip area overhead following the
+// paper's analysis (§6.2): two bitline mode select transistors per bitline
+// (one at either end of the subarray) plus one column I/O mode select
+// transistor per sense-amplifier pair, each conservatively assumed to
+// occupy its own transistor row of the subarray.
+type AreaModel struct {
+	// RowsPerSubarray is the number of cell rows per subarray (512 for the
+	// modelled density-optimised device).
+	RowsPerSubarray int
+	// IsoRowHeightCells is the height of one isolation-transistor row in
+	// cell-height units (sized per Seongil et al. / PTM as the paper cites;
+	// ≈4.1 cell heights reproduces the paper's 1.6% per transistor set).
+	IsoRowHeightCells float64
+	// ColumnIOFitsInSlack models the optimistic case where column I/O mode
+	// select transistors fit into existing slack space (the paper
+	// conservatively assumes they do not).
+	ColumnIOFitsInSlack bool
+}
+
+// DefaultAreaModel reproduces the paper's conservative estimate.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{RowsPerSubarray: 512, IsoRowHeightCells: 4.1}
+}
+
+// Overhead returns the chip-area overhead fractions: the bitline mode
+// select contribution, the column I/O mode select contribution, and their
+// total (paper: 1.6% + 1.6% = 3.2% worst case).
+func (a AreaModel) Overhead() (bitline, columnIO, total float64) {
+	// Two transistor rows per subarray, relative to the subarray's cell
+	// rows, diluted over the cell-array fraction of the chip (~equal to the
+	// subarray itself under the open-bitline layout the paper assumes).
+	bitline = 2 * a.IsoRowHeightCells / float64(a.RowsPerSubarray)
+	if !a.ColumnIOFitsInSlack {
+		columnIO = bitline // same transistor count and sizing assumption
+	}
+	return bitline, columnIO, bitline + columnIO
+}
+
+// CapacityFactor returns the usable storage fraction of a device with the
+// given fraction of rows in high-performance mode: an X% high-performance
+// configuration forfeits X/2 % of total capacity (§6.1).
+func CapacityFactor(hpFraction float64) float64 {
+	return 1 - hpFraction/2
+}
+
+// ControllerStorageBits returns the memory-controller mode-tracking cost in
+// bits for a device with the given total row count and reconfiguration
+// granularity in rows (paper §6.2: one bit per row, divided by the
+// granularity the address-interleaving policy imposes).
+func ControllerStorageBits(totalRows, granularityRows int) int {
+	if granularityRows < 1 {
+		granularityRows = 1
+	}
+	return (totalRows + granularityRows - 1) / granularityRows
+}

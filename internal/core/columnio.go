@@ -1,0 +1,70 @@
+package core
+
+import "clrdram/internal/dram"
+
+// This file models CLR-DRAM's column I/O circuitry (paper §4, Figure 9).
+// In high-performance mode the two coupled sense amplifiers hold the same
+// bit, so the conventional column I/O wiring would waste half the LIO/GIO
+// bandwidth transferring duplicates. CLR-DRAM adds one column I/O mode
+// select transistor per SA pair, controlled by a per-subarray signal M:
+//
+//   - max-capacity mode: M asserted — the subarray I/O is wired exactly
+//     like the conventional design; one column select (CSEL) connects one
+//     column's SAs to the LIO lines.
+//   - high-performance mode: M deasserted — the redundant half of each
+//     coupled SA pair is disconnected, and TWO column select signals are
+//     asserted simultaneously so two different logical bits use the full
+//     LIO width.
+//
+// Either way the subarray moves one full column of data per column cycle:
+// CLR-DRAM pays no column bandwidth for its reconfigurability.
+
+// ColumnIOConfig is the resolved column I/O control state for one access.
+type ColumnIOConfig struct {
+	M             bool  // column I/O mode select signal
+	AssertedCSELs []int // column select lines asserted for this access
+}
+
+// ColumnIO returns the §4 control state for accessing logical column `col`
+// of a row operating in the given mode, in a subarray with columnsPerRow
+// physical columns.
+//
+// In max-capacity mode logical and physical columns coincide: one CSEL.
+// In high-performance mode each logical column is backed by one SA of each
+// of two adjacent physical columns, so CSELs col·2 and col·2+1 are both
+// asserted while M disconnects the duplicate halves.
+func ColumnIO(mode dram.Mode, col, columnsPerRow int) ColumnIOConfig {
+	if mode == dram.ModeHighPerf {
+		a := (col * 2) % columnsPerRow
+		return ColumnIOConfig{
+			M:             false,
+			AssertedCSELs: []int{a, a + 1},
+		}
+	}
+	return ColumnIOConfig{
+		M:             true,
+		AssertedCSELs: []int{col % columnsPerRow},
+	}
+}
+
+// ColumnBandwidthFactor returns the usable column data bandwidth of a row
+// in the given mode relative to the conventional design — 1.0 in both
+// modes, which is the point of §4's added transistor. (Without the column
+// I/O mode select transistor, high-performance mode would transfer each bit
+// twice and the factor would be 0.5.)
+func ColumnBandwidthFactor(mode dram.Mode, withModeSelectTransistor bool) float64 {
+	if mode == dram.ModeHighPerf && !withModeSelectTransistor {
+		return 0.5
+	}
+	return 1.0
+}
+
+// UsableColumns returns how many logical cache-line columns a row exposes:
+// a high-performance row stores half a row's worth of data (§6.1), so half
+// the logical columns, each at full bandwidth.
+func UsableColumns(mode dram.Mode, columnsPerRow int) int {
+	if mode == dram.ModeHighPerf {
+		return columnsPerRow / 2
+	}
+	return columnsPerRow
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"clrdram/internal/dram"
+)
+
+func TestColumnIOMaxCapacityMimicsConventional(t *testing.T) {
+	cfg := ColumnIO(dram.ModeMaxCap, 5, 128)
+	if !cfg.M {
+		t.Fatal("M must be asserted in max-capacity mode (§4)")
+	}
+	if len(cfg.AssertedCSELs) != 1 || cfg.AssertedCSELs[0] != 5 {
+		t.Fatalf("max-capacity CSELs = %v, want [5]", cfg.AssertedCSELs)
+	}
+}
+
+func TestColumnIOHighPerformanceAssertsTwoCSELs(t *testing.T) {
+	cfg := ColumnIO(dram.ModeHighPerf, 3, 128)
+	if cfg.M {
+		t.Fatal("M must be deasserted in high-performance mode (§4)")
+	}
+	// Logical column 3 is backed by physical columns 6 and 7.
+	if len(cfg.AssertedCSELs) != 2 || cfg.AssertedCSELs[0] != 6 || cfg.AssertedCSELs[1] != 7 {
+		t.Fatalf("high-performance CSELs = %v, want [6 7]", cfg.AssertedCSELs)
+	}
+}
+
+func TestColumnIOPairsAreAdjacentAndDisjoint(t *testing.T) {
+	// Every logical column of a high-performance row maps to a distinct
+	// adjacent physical pair, covering the row exactly once.
+	const cols = 128
+	used := map[int]bool{}
+	for lc := 0; lc < UsableColumns(dram.ModeHighPerf, cols); lc++ {
+		cfg := ColumnIO(dram.ModeHighPerf, lc, cols)
+		a, b := cfg.AssertedCSELs[0], cfg.AssertedCSELs[1]
+		if b != a+1 || a%2 != 0 {
+			t.Fatalf("logical column %d pair %v not even-aligned adjacent", lc, cfg.AssertedCSELs)
+		}
+		if used[a] || used[b] {
+			t.Fatalf("physical column reused by logical column %d", lc)
+		}
+		used[a], used[b] = true, true
+	}
+	if len(used) != cols {
+		t.Fatalf("pairs cover %d physical columns, want %d", len(used), cols)
+	}
+}
+
+func TestColumnBandwidthFactor(t *testing.T) {
+	// §4's claim: full bandwidth in both modes with the mode select
+	// transistor; half without it.
+	if ColumnBandwidthFactor(dram.ModeMaxCap, true) != 1.0 ||
+		ColumnBandwidthFactor(dram.ModeHighPerf, true) != 1.0 {
+		t.Fatal("full bandwidth expected in both modes with the §4 transistor")
+	}
+	if ColumnBandwidthFactor(dram.ModeHighPerf, false) != 0.5 {
+		t.Fatal("without the transistor, high-performance mode should waste half the bandwidth")
+	}
+}
+
+func TestUsableColumns(t *testing.T) {
+	if UsableColumns(dram.ModeMaxCap, 128) != 128 {
+		t.Fatal("max-capacity rows expose all columns")
+	}
+	if UsableColumns(dram.ModeHighPerf, 128) != 64 {
+		t.Fatal("high-performance rows expose half the columns (§6.1)")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "clrdram/internal/dram"
+
+// This file models CLR-DRAM's in-DRAM control of the bitline mode select
+// transistors (paper §3.3, Figure 6). Each bank distributes two control
+// signals, ISO1 and ISO2 (plus their complements), to all subarrays. To
+// satisfy the two cross-subarray requirements — correct max-capacity
+// sensing needs the adjacent subarray's bitlines connected as in the
+// open-bitline baseline, and maximum high-performance latency reduction
+// needs them disconnected — the signal-to-transistor assignment alternates
+// between even and odd subarrays:
+//
+//	even subarrays: Type 1 ← ISO2̄, Type 2 ← ISO1̄
+//	odd  subarrays: Type 1 ← ISO1,  Type 2 ← ISO2
+//
+// Mode encodings (Figure 6):
+//
+//	max-capacity:             ISO1 = H, ISO2 = L   (both parities)
+//	high-performance (odd):   ISO1 = H, ISO2 = H
+//	high-performance (even):  ISO1 = L, ISO2 = L
+type ControlSignals struct {
+	ISO1 bool
+	ISO2 bool
+}
+
+// TransistorState is the resulting on/off state of the two bitline mode
+// select transistor types within one subarray.
+type TransistorState struct {
+	Type1 bool // replaces the original bitline-to-SA connection
+	Type2 bool // connects the previously unconnected bitline end
+}
+
+// SignalsFor returns the per-bank control signal levels that configure a
+// row of the given subarray to operate in the given mode (§3.3).
+func SignalsFor(subarray int, mode dram.Mode) ControlSignals {
+	odd := subarray%2 == 1
+	switch mode {
+	case dram.ModeHighPerf:
+		if odd {
+			return ControlSignals{ISO1: true, ISO2: true}
+		}
+		return ControlSignals{ISO1: false, ISO2: false}
+	default: // max-capacity and the unmodified baseline encoding
+		return ControlSignals{ISO1: true, ISO2: false}
+	}
+}
+
+// Apply resolves the control signals into transistor states for a subarray
+// of the given parity, using the alternating assignment above.
+func (s ControlSignals) Apply(subarray int) TransistorState {
+	if subarray%2 == 1 {
+		// Odd subarrays: Type 1 ← ISO1, Type 2 ← ISO2.
+		return TransistorState{Type1: s.ISO1, Type2: s.ISO2}
+	}
+	// Even subarrays: Type 1 ← ISO2̄, Type 2 ← ISO1̄.
+	return TransistorState{Type1: !s.ISO2, Type2: !s.ISO1}
+}
+
+// NeighborIsolation reports whether the neighbours of a high-performance
+// subarray have all bitlines disconnected (the §3.3 requirement that
+// preserves the latency benefit by not extending the effective bitline).
+// The same bank-level signals reach the neighbours; their parity differs.
+func NeighborIsolation(subarray int, mode dram.Mode) bool {
+	if mode != dram.ModeHighPerf {
+		return false // not applicable: max-capacity needs them connected
+	}
+	sig := SignalsFor(subarray, mode)
+	n := sig.Apply(subarray + 1)
+	return !n.Type1 && !n.Type2
+}
+
+// ControlCost summarises the per-bank wiring cost of the scheme: two
+// signals and their complements, independent of subarray count (§3.3:
+// "only two control signals (and their complements) per bank").
+func ControlCost() (signals int, perSubarray bool) { return 2, false }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"clrdram/internal/dram"
+)
+
+func TestSignalsForMatchFigure6(t *testing.T) {
+	// Max-capacity: ISO1=H, ISO2=L for any subarray.
+	for _, sub := range []int{0, 1, 2, 7} {
+		s := SignalsFor(sub, dram.ModeMaxCap)
+		if !s.ISO1 || s.ISO2 {
+			t.Fatalf("subarray %d max-cap signals = %+v, want ISO1=H ISO2=L", sub, s)
+		}
+	}
+	// High-performance: odd → both high; even → both low.
+	if s := SignalsFor(1, dram.ModeHighPerf); !s.ISO1 || !s.ISO2 {
+		t.Fatalf("odd HP signals = %+v, want both high", s)
+	}
+	if s := SignalsFor(0, dram.ModeHighPerf); s.ISO1 || s.ISO2 {
+		t.Fatalf("even HP signals = %+v, want both low", s)
+	}
+}
+
+func TestApplyMaxCapacityMimicsOpenBitline(t *testing.T) {
+	// In max-capacity mode every subarray must have Type 1 on (the
+	// conventional bitline-SA connection) and Type 2 off, regardless of
+	// parity — this is what makes the mode electrically identical to the
+	// open-bitline baseline (Figure 5a).
+	for sub := 0; sub < 6; sub++ {
+		st := SignalsFor(sub, dram.ModeMaxCap).Apply(sub)
+		if !st.Type1 || st.Type2 {
+			t.Fatalf("subarray %d max-cap transistors = %+v, want Type1 on / Type2 off", sub, st)
+		}
+	}
+}
+
+func TestApplyHighPerformanceEnablesAllTransistors(t *testing.T) {
+	// In the accessed subarray both transistor types must be on to couple
+	// cells and SAs (Figure 5b) — for both parities.
+	for sub := 0; sub < 6; sub++ {
+		st := SignalsFor(sub, dram.ModeHighPerf).Apply(sub)
+		if !st.Type1 || !st.Type2 {
+			t.Fatalf("subarray %d HP transistors = %+v, want both on", sub, st)
+		}
+	}
+}
+
+func TestNeighborIsolationInHighPerf(t *testing.T) {
+	// §3.3: the neighbouring subarrays of a high-performance access must
+	// have all bitline mode select transistors off, so their bitlines do
+	// not load the coupled pair.
+	for sub := 0; sub < 6; sub++ {
+		if !NeighborIsolation(sub, dram.ModeHighPerf) {
+			t.Fatalf("subarray %d neighbours not isolated in HP mode", sub)
+		}
+	}
+	if NeighborIsolation(2, dram.ModeMaxCap) {
+		t.Fatal("NeighborIsolation is only defined for high-performance mode")
+	}
+}
+
+func TestNeighborConnectedInMaxCapacity(t *testing.T) {
+	// Conversely, max-capacity sensing needs the adjacent subarray's
+	// bitline connected to the shared SA (open-bitline reference line):
+	// the neighbour's Type 1 must be on under the same bank signals.
+	for sub := 0; sub < 6; sub++ {
+		sig := SignalsFor(sub, dram.ModeMaxCap)
+		n := sig.Apply(sub + 1)
+		if !n.Type1 {
+			t.Fatalf("subarray %d neighbour Type1 off in max-cap: %+v", sub, n)
+		}
+	}
+}
+
+func TestControlCost(t *testing.T) {
+	n, perSub := ControlCost()
+	if n != 2 || perSub {
+		t.Fatalf("control cost = %d signals (perSubarray=%v), want 2 per bank", n, perSub)
+	}
+}

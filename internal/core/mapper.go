@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"clrdram/internal/dram"
+	"clrdram/internal/mem"
+)
+
+// PageBytes is the OS page size (4 KiB).
+const PageBytes = 4096
+
+// pageLines is the number of cache lines per page.
+const pageLines = PageBytes / 64
+
+// frame locates one page-sized slot in the device. In a max-capacity row
+// (8 KiB) two pages live at slots 0 and 1; a high-performance row stores
+// half a row's worth of data (paper §6.1), i.e. exactly one page, always at
+// slot 0.
+type frame struct {
+	bank, row int32
+	slot      int8
+	ch        int8 // memory channel
+}
+
+// PageMapper implements the paper's profiling-guided data mapping (§8.1):
+// the workload's most frequently accessed pages are placed in
+// high-performance rows, the rest in max-capacity rows. It also implements
+// the capacity accounting of §6.1 — each high-performance row forfeits half
+// its storage.
+type PageMapper struct {
+	banks       int
+	rowsPerBank int
+	channels    int
+	hpRows      int // rows [0, hpRows) of every bank are high-performance
+	table       []frame
+	hotCount    int
+}
+
+// BuildMapping constructs the page table for a workload of totalPages pages
+// whose popularity ranking (hottest first, covering every page exactly
+// once) is given. The clr config determines how many rows are
+// high-performance; the top clr.HPFraction·totalPages pages land there.
+func BuildMapping(devCfg dram.Config, clr Config, ranking []int, totalPages int) (*PageMapper, error) {
+	return BuildMappingMulti(devCfg, clr, ranking, totalPages, 1)
+}
+
+// BuildMappingMulti is BuildMapping for a system with several memory
+// channels (each an identical single-rank device). Hot pages stripe across
+// channels first, then banks, for maximum parallelism; cold pages stripe at
+// row (8 KiB) granularity to preserve streaming locality. This extends the
+// paper's single-channel evaluation configuration (Table 2) to the
+// multi-channel systems §5.1 discusses.
+func BuildMappingMulti(devCfg dram.Config, clr Config, ranking []int, totalPages, channels int) (*PageMapper, error) {
+	if totalPages <= 0 {
+		return nil, fmt.Errorf("core: totalPages must be positive")
+	}
+	if len(ranking) != totalPages {
+		return nil, fmt.Errorf("core: ranking covers %d pages, footprint has %d", len(ranking), totalPages)
+	}
+	rowBytes := devCfg.Columns * 64
+	pagesPerRow := rowBytes / PageBytes
+	if pagesPerRow < 2 {
+		return nil, fmt.Errorf("core: row size %d B too small for paired-page mapping", rowBytes)
+	}
+	if channels < 1 {
+		return nil, fmt.Errorf("core: need ≥1 channel, got %d", channels)
+	}
+	banks := devCfg.Banks()
+	hpRows := clr.HPRows(devCfg.Rows)
+
+	m := &PageMapper{
+		banks:       banks,
+		rowsPerBank: devCfg.Rows,
+		channels:    channels,
+		hpRows:      hpRows,
+		table:       make([]frame, totalPages),
+	}
+
+	// How many of the workload's pages become low-latency: X% of its most
+	// accessed pages for an X% high-performance row configuration (§8.1).
+	hot := int(clr.HPFraction * float64(totalPages))
+	if cap := hpRows * banks * channels; hot > cap {
+		return nil, fmt.Errorf("core: %d hot pages exceed high-performance capacity %d pages", hot, cap)
+	}
+	// Cold pages live in fixed "home" frames keyed by page number, packed
+	// downward from the top row. The home region must stay clear of the
+	// high-performance region whenever any page is cold.
+	if totalPages-hot > 0 {
+		perRowSet := pagesPerRow * banks * channels
+		homeRows := (totalPages + perRowSet - 1) / perRowSet
+		if hpRows+homeRows > devCfg.Rows {
+			return nil, fmt.Errorf("core: cold home region (%d rows) collides with %d high-performance rows", homeRows, hpRows)
+		}
+	}
+	m.hotCount = hot
+
+	isHot := make([]bool, totalPages)
+	// Hot pages in popularity order → consecutive high-performance frames,
+	// striped bank-first so concurrent hot-page accesses exploit bank-level
+	// parallelism.
+	for i := 0; i < hot; i++ {
+		page := ranking[i]
+		if page < 0 || page >= totalPages {
+			return nil, fmt.Errorf("core: ranking entry %d out of range", page)
+		}
+		if isHot[page] {
+			return nil, fmt.Errorf("core: page %d appears twice in ranking", page)
+		}
+		isHot[page] = true
+		m.table[page] = frame{
+			ch:   int8(i % channels),
+			bank: int32((i / channels) % banks),
+			row:  int32(i / (channels * banks)),
+			slot: 0,
+		}
+	}
+	// Cold pages sit in their fixed home frame — a function of the page
+	// number alone, packed downward from the top row. Homes are stable
+	// across reconfigurations, so growing or shrinking the high-performance
+	// region later migrates exactly the pages whose hot/cold classification
+	// changed (dynamic reconfiguration, §3.2) and consecutive pages stay
+	// spatially adjacent for streaming workloads.
+	perRowSet := pagesPerRow * banks * channels // pages per row index across the system
+	for page := 0; page < totalPages; page++ {
+		if isHot[page] {
+			continue
+		}
+		pairIdx := page / pagesPerRow // row-granularity stripe index
+		m.table[page] = frame{
+			ch:   int8(pairIdx % channels),
+			bank: int32((pairIdx / channels) % banks),
+			row:  int32(devCfg.Rows - 1 - page/perRowSet),
+			slot: int8(page % pagesPerRow),
+		}
+	}
+	return m, nil
+}
+
+// Diff returns the pages whose frame differs between two mappings over the
+// same footprint — the set a dynamic reconfiguration must migrate.
+func (m *PageMapper) Diff(next *PageMapper) []int {
+	if len(m.table) != len(next.table) {
+		panic("core: Diff over different footprints")
+	}
+	var moved []int
+	for page := range m.table {
+		if m.table[page] != next.table[page] {
+			moved = append(moved, page)
+		}
+	}
+	return moved
+}
+
+// Channels returns the number of memory channels the mapping spans.
+func (m *PageMapper) Channels() int { return m.channels }
+
+// TranslateChannel maps a workload physical address to its channel and
+// DRAM coordinates.
+func (m *PageMapper) TranslateChannel(addr uint64) (int, mem.Address) {
+	page := addr / PageBytes
+	if page >= uint64(len(m.table)) {
+		page %= uint64(len(m.table))
+	}
+	f := m.table[page]
+	line := (addr / 64) % pageLines
+	return int(f.ch), mem.Address{
+		Bank:   int(f.bank),
+		Row:    int(f.row),
+		Column: int(f.slot)*pageLines + int(line),
+	}
+}
+
+// Translate maps a workload physical address to its DRAM coordinates
+// (single-channel convenience; multi-channel callers use TranslateChannel).
+func (m *PageMapper) Translate(addr uint64) mem.Address {
+	_, da := m.TranslateChannel(addr)
+	return da
+}
+
+// IsHot reports whether the page holding addr is mapped to a
+// high-performance row.
+func (m *PageMapper) IsHot(addr uint64) bool {
+	page := addr / PageBytes
+	if page >= uint64(len(m.table)) {
+		page %= uint64(len(m.table))
+	}
+	return m.table[page].row < int32(m.hpRows)
+}
+
+// HotPages returns the number of pages mapped to high-performance rows.
+func (m *PageMapper) HotPages() int { return m.hotCount }
+
+// HPRowCount returns the per-bank high-performance row count.
+func (m *PageMapper) HPRowCount() int { return m.hpRows }

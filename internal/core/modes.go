@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"clrdram/internal/dram"
+)
+
+// ThresholdModeSource is the fraction-based row-mode layout the paper's
+// evaluation uses: rows with index below HPRowsBelow operate in
+// high-performance mode in every bank, the rest in Else. Mode lookup is O(1)
+// with no per-row storage — the memory-controller bookkeeping optimisation
+// of §6.2 taken to its limit for the contiguous layout.
+type ThresholdModeSource struct {
+	HPRowsBelow int
+	Else        dram.Mode
+}
+
+// RowMode implements dram.RowModeSource.
+func (t ThresholdModeSource) RowMode(bank, row int) dram.Mode {
+	if row < t.HPRowsBelow {
+		return dram.ModeHighPerf
+	}
+	return t.Else
+}
+
+// DynamicThreshold is a mutable ThresholdModeSource: the system layer holds
+// a pointer to it and raises or lowers the high-performance row count at
+// run time (CLR-DRAM's §3.2 dynamism). The device reads the mode at every
+// ACT, so a change takes effect at each row's next activation.
+type DynamicThreshold struct {
+	hpRows int
+	Else   dram.Mode
+}
+
+// NewDynamicThreshold creates a threshold source with hpRows fast rows.
+func NewDynamicThreshold(hpRows int, elseMode dram.Mode) *DynamicThreshold {
+	return &DynamicThreshold{hpRows: hpRows, Else: elseMode}
+}
+
+// RowMode implements dram.RowModeSource.
+func (t *DynamicThreshold) RowMode(bank, row int) dram.Mode {
+	if row < t.hpRows {
+		return dram.ModeHighPerf
+	}
+	return t.Else
+}
+
+// HPRows returns the current high-performance row count.
+func (t *DynamicThreshold) HPRows() int { return t.hpRows }
+
+// SetHPRows reconfigures the boundary.
+func (t *DynamicThreshold) SetHPRows(n int) { t.hpRows = n }
+
+// RowModeMap tracks an arbitrary per-row operating mode, supporting the
+// paper's full generality: any individual row may be reconfigured at any
+// time (§3.2: "the operating mode of a row is independent from that of any
+// other row"). It stores one bit per row (§6.2's unoptimised cost), packed.
+type RowModeMap struct {
+	banks, rows int
+	hp          []uint64 // bit set → high-performance
+	elseMode    dram.Mode
+	hpCount     int
+}
+
+// NewRowModeMap creates a map with every row in elseMode (max-capacity for
+// CLR devices).
+func NewRowModeMap(banks, rows int, elseMode dram.Mode) *RowModeMap {
+	if banks <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("core: invalid geometry %dx%d", banks, rows))
+	}
+	words := (banks*rows + 63) / 64
+	return &RowModeMap{banks: banks, rows: rows, hp: make([]uint64, words), elseMode: elseMode}
+}
+
+func (m *RowModeMap) index(bank, row int) (word int, bit uint) {
+	if bank < 0 || bank >= m.banks || row < 0 || row >= m.rows {
+		panic(fmt.Sprintf("core: row (%d,%d) outside %dx%d", bank, row, m.banks, m.rows))
+	}
+	i := bank*m.rows + row
+	return i / 64, uint(i % 64)
+}
+
+// SetHighPerf reconfigures one row. Reconfiguration happens at the next
+// activation of the row (§3.2); the device model consults RowMode at ACT
+// time, so flipping the bit here has exactly that semantics.
+func (m *RowModeMap) SetHighPerf(bank, row int, hp bool) {
+	w, b := m.index(bank, row)
+	old := m.hp[w]&(1<<b) != 0
+	if hp == old {
+		return
+	}
+	if hp {
+		m.hp[w] |= 1 << b
+		m.hpCount++
+	} else {
+		m.hp[w] &^= 1 << b
+		m.hpCount--
+	}
+}
+
+// RowMode implements dram.RowModeSource.
+func (m *RowModeMap) RowMode(bank, row int) dram.Mode {
+	w, b := m.index(bank, row)
+	if m.hp[w]&(1<<b) != 0 {
+		return dram.ModeHighPerf
+	}
+	return m.elseMode
+}
+
+// HPCount returns the number of rows currently in high-performance mode.
+func (m *RowModeMap) HPCount() int { return m.hpCount }
+
+// HPFraction returns the configured high-performance fraction.
+func (m *RowModeMap) HPFraction() float64 {
+	return float64(m.hpCount) / float64(m.banks*m.rows)
+}
+
+// StorageBits returns the mode-tracking storage the memory controller needs
+// for this map (paper §6.2: one bit per row before granularity
+// optimisations).
+func (m *RowModeMap) StorageBits() int { return m.banks * m.rows }

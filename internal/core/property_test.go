@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clrdram/internal/dram"
+)
+
+// TestMappingPropertyDistinctAndModeConsistent: for random footprints, HP
+// fractions and rankings, every page maps to a distinct frame, hot pages
+// land below the HP row threshold and cold pages above it, and Translate is
+// consistent for every line of every page.
+func TestMappingPropertyDistinctAndModeConsistent(t *testing.T) {
+	cfg := dram.Standard16Gb()
+	cfg.Rows = 1 << 10
+
+	f := func(pagesRaw uint16, fracRaw uint8, seed int64) bool {
+		pages := int(pagesRaw%2000) + 16
+		frac := float64(fracRaw%5) / 4.0 // 0, 0.25, 0.5, 0.75, 1.0
+		rng := rand.New(rand.NewSource(seed))
+		ranking := rng.Perm(pages)
+
+		clr := CLR(frac)
+		if frac == 0 {
+			clr = Baseline()
+		}
+		m, err := BuildMapping(cfg, clr, ranking, pages)
+		if err != nil {
+			return false
+		}
+		hot := int(frac * float64(pages))
+		seen := make(map[[3]int]bool, pages)
+		for rank, page := range ranking {
+			addr := uint64(page) * PageBytes
+			da := m.Translate(addr)
+			key := [3]int{da.Bank, da.Row, da.Column / pageLines}
+			if seen[key] {
+				return false // two pages share a frame
+			}
+			seen[key] = true
+			wantHot := rank < hot
+			if m.IsHot(addr) != wantHot {
+				return false
+			}
+			if wantHot != (da.Row < m.HPRowCount()) {
+				return false
+			}
+			// Every line of the page stays in the same bank/row.
+			mid := m.Translate(addr + PageBytes/2)
+			if mid.Bank != da.Bank || mid.Row != da.Row {
+				return false
+			}
+		}
+		return true
+	}
+	cfg2 := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimingTablePropertyInterpolationBounded: HighPerfAt between two curve
+// points always lies between the endpoint values.
+func TestTimingTablePropertyInterpolationBounded(t *testing.T) {
+	tab := DefaultTable()
+	f := func(raw uint16) bool {
+		ms := 64 + float64(raw%(uint16(tab.MaxREFWms())-64))
+		at, err := tab.HighPerfAt(ms, true)
+		if err != nil {
+			return false
+		}
+		lo := tab.REFWCurve[0]
+		hi := tab.REFWCurve[len(tab.REFWCurve)-1]
+		return at.RCD >= lo.RCD-1e-9 && at.RCD <= hi.RCD+1e-9 &&
+			at.RAS >= lo.RAS-1e-9 && at.RAS <= hi.RAS+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowModeMapPropertyCountMatches: after arbitrary set/unset sequences,
+// HPCount equals the number of rows reported as high-performance.
+func TestRowModeMapPropertyCountMatches(t *testing.T) {
+	f := func(ops []uint32) bool {
+		const banks, rows = 4, 64
+		m := NewRowModeMap(banks, rows, dram.ModeMaxCap)
+		for _, op := range ops {
+			bank := int(op>>1) % banks
+			row := int(op>>3) % rows
+			m.SetHighPerf(bank, row, op&1 == 1)
+		}
+		count := 0
+		for b := 0; b < banks; b++ {
+			for r := 0; r < rows; r++ {
+				if m.RowMode(b, r) == dram.ModeHighPerf {
+					count++
+				}
+			}
+		}
+		return count == m.HPCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

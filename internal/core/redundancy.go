@@ -1,0 +1,119 @@
+package core
+
+import "fmt"
+
+// RedundancyMap models a DRAM chip's post-manufacturing repair resources
+// (paper §6.3): spare rows and spare column pairs that known-faulty
+// elements are remapped to. CLR-DRAM is row-granular, so row repair is
+// unchanged; column repair gains one constraint — in high-performance mode
+// every two adjacent columns couple pairwise, so remapping a faulty column
+// must drag its partner column along to the corresponding adjacent spare.
+type RedundancyMap struct {
+	rows    int
+	columns int
+
+	spareRows     int
+	spareColPairs int
+
+	rowRemap map[int]int // faulty row → spare row index
+	colRemap map[int]int // faulty column → spare column index
+
+	usedSpareRows     int
+	usedSpareColPairs int
+}
+
+// NewRedundancyMap creates a map for a bank with the given geometry and
+// spare budget. spareColumns must be even (spares come in adjacent pairs so
+// high-performance coupling works on them too).
+func NewRedundancyMap(rows, columns, spareRows, spareColumns int) (*RedundancyMap, error) {
+	if spareColumns%2 != 0 {
+		return nil, fmt.Errorf("core: spare columns must be paired (got %d)", spareColumns)
+	}
+	return &RedundancyMap{
+		rows:          rows,
+		columns:       columns,
+		spareRows:     spareRows,
+		spareColPairs: spareColumns / 2,
+		rowRemap:      make(map[int]int),
+		colRemap:      make(map[int]int),
+	}, nil
+}
+
+// RepairRow remaps a faulty row to the next spare row. Row repair is fully
+// compatible with CLR-DRAM (§6.3: "fully compatible with existing row
+// redundancy resources").
+func (m *RedundancyMap) RepairRow(row int) error {
+	if row < 0 || row >= m.rows {
+		return fmt.Errorf("core: row %d out of range", row)
+	}
+	if _, done := m.rowRemap[row]; done {
+		return nil // idempotent
+	}
+	if m.usedSpareRows >= m.spareRows {
+		return fmt.Errorf("core: out of spare rows (%d used)", m.usedSpareRows)
+	}
+	m.rowRemap[row] = m.rows + m.usedSpareRows
+	m.usedSpareRows++
+	return nil
+}
+
+// RepairColumn remaps a faulty column. Per §6.3, the faulty column's
+// adjacent partner (its pair under high-performance coupling) is remapped
+// together with it to an adjacent spare pair, so the repaired row can still
+// couple cells pairwise.
+func (m *RedundancyMap) RepairColumn(col int) error {
+	if col < 0 || col >= m.columns {
+		return fmt.Errorf("core: column %d out of range", col)
+	}
+	if _, done := m.colRemap[col]; done {
+		return nil
+	}
+	if m.usedSpareColPairs >= m.spareColPairs {
+		return fmt.Errorf("core: out of spare column pairs (%d used)", m.usedSpareColPairs)
+	}
+	pairBase := col &^ 1 // the even member of the (even, odd) pair
+	spareBase := m.columns + 2*m.usedSpareColPairs
+	m.colRemap[pairBase] = spareBase
+	m.colRemap[pairBase+1] = spareBase + 1
+	m.usedSpareColPairs++
+	return nil
+}
+
+// ResolveRow returns the physical row serving a logical row.
+func (m *RedundancyMap) ResolveRow(row int) int {
+	if r, ok := m.rowRemap[row]; ok {
+		return r
+	}
+	return row
+}
+
+// ResolveColumn returns the physical column serving a logical column.
+func (m *RedundancyMap) ResolveColumn(col int) int {
+	if c, ok := m.colRemap[col]; ok {
+		return c
+	}
+	return col
+}
+
+// PairIntact reports whether a column and its coupling partner resolve to
+// adjacent physical columns — the invariant high-performance mode needs.
+func (m *RedundancyMap) PairIntact(col int) bool {
+	base := col &^ 1
+	a := m.ResolveColumn(base)
+	b := m.ResolveColumn(base + 1)
+	return b == a+1 && a%2 == 0
+}
+
+// Utilization returns the used fraction of spare rows and spare column
+// pairs. The paper argues (<25% field utilization, §6.3) that CLR-DRAM's
+// pair-dragging does not require growing the spare budget; callers can
+// check that doubling-by-pairing stays under their budget.
+func (m *RedundancyMap) Utilization() (rowFrac, colFrac float64) {
+	if m.spareRows > 0 {
+		rowFrac = float64(m.usedSpareRows) / float64(m.spareRows)
+	}
+	if m.spareColPairs > 0 {
+		colFrac = float64(m.usedSpareColPairs) / float64(m.spareColPairs)
+	}
+	return rowFrac, colFrac
+}

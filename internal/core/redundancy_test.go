@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newRM(t *testing.T) *RedundancyMap {
+	t.Helper()
+	m, err := NewRedundancyMap(1024, 128, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRowRepair(t *testing.T) {
+	m := newRM(t)
+	if err := m.RepairRow(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ResolveRow(100); got != 1024 {
+		t.Fatalf("row 100 resolves to %d, want spare 1024", got)
+	}
+	if got := m.ResolveRow(101); got != 101 {
+		t.Fatal("healthy row must resolve to itself")
+	}
+	// Idempotent.
+	if err := m.RepairRow(100); err != nil {
+		t.Fatal(err)
+	}
+	rf, _ := m.Utilization()
+	if rf != 1.0/8 {
+		t.Fatalf("row utilization = %v, want 1/8", rf)
+	}
+}
+
+func TestRowRepairExhaustion(t *testing.T) {
+	m := newRM(t)
+	for i := 0; i < 8; i++ {
+		if err := m.RepairRow(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RepairRow(99); err == nil {
+		t.Fatal("9th repair should exhaust 8 spare rows")
+	}
+}
+
+func TestColumnRepairDragsPartner(t *testing.T) {
+	m := newRM(t)
+	// Repair an odd column: its even partner must move too (§6.3).
+	if err := m.RepairColumn(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ResolveColumn(6); got != 128 {
+		t.Fatalf("partner column 6 resolves to %d, want spare 128", got)
+	}
+	if got := m.ResolveColumn(7); got != 129 {
+		t.Fatalf("faulty column 7 resolves to %d, want spare 129", got)
+	}
+	if !m.PairIntact(6) || !m.PairIntact(7) {
+		t.Fatal("repaired pair must remain adjacent for HP coupling")
+	}
+	if !m.PairIntact(10) {
+		t.Fatal("untouched pair must be intact")
+	}
+}
+
+func TestColumnRepairExhaustion(t *testing.T) {
+	m := newRM(t)
+	// 8 spare columns = 4 pairs.
+	for i := 0; i < 4; i++ {
+		if err := m.RepairColumn(i * 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RepairColumn(100); err == nil {
+		t.Fatal("5th pair repair should exhaust 4 spare pairs")
+	}
+	_, cf := m.Utilization()
+	if cf != 1.0 {
+		t.Fatalf("column utilization = %v, want 1", cf)
+	}
+}
+
+func TestOddSpareColumnsRejected(t *testing.T) {
+	if _, err := NewRedundancyMap(16, 16, 2, 3); err == nil {
+		t.Fatal("odd spare column count must be rejected")
+	}
+}
+
+func TestPairIntactProperty(t *testing.T) {
+	// After any sequence of valid repairs, every column pair in the
+	// original array remains intact (adjacent, even-aligned) — the §6.3
+	// invariant high-performance mode requires.
+	f := func(faults []uint8) bool {
+		m, _ := NewRedundancyMap(256, 64, 16, 32)
+		for _, fcol := range faults {
+			_ = m.RepairColumn(int(fcol) % 64) // exhaustion errors are fine
+		}
+		for col := 0; col < 64; col++ {
+			if !m.PairIntact(col) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	m := newRM(t)
+	if err := m.RepairRow(-1); err == nil {
+		t.Fatal("negative row accepted")
+	}
+	if err := m.RepairRow(1024); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if err := m.RepairColumn(128); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"clrdram/internal/dram"
+	"clrdram/internal/mem"
+)
+
+// This file adapts retention-aware refresh (RAIDR, Liu et al., ISCA 2012 —
+// one of the §5.2 "solutions proposed by prior works" the paper says could
+// be adapted) to CLR-DRAM. RAIDR bins rows by measured retention time and
+// refreshes each bin at its own rate instead of refreshing everything at
+// the worst-case 64 ms. CLR-DRAM composes multiplicatively: a
+// high-performance row's coupled logical cell holds roughly K× the charge,
+// so each bin's window stretches by the retention multiplier (bounded by
+// the Figure 11 sensing limit).
+
+// RetentionBin is one retention class: a fraction of all rows whose
+// weakest cell retains data for at least WindowMs.
+type RetentionBin struct {
+	WindowMs float64
+	Fraction float64
+}
+
+// RetentionProfile is a device's binned retention distribution.
+type RetentionProfile struct {
+	Bins []RetentionBin
+}
+
+// RAIDRProfile returns the distribution RAIDR reports for a 32 GiB server:
+// retention failures are extremely rare, so almost all rows can use long
+// windows — ≈1000 rows per 2^21 need 64-128 ms, ≈30k need 128-256 ms, the
+// rest ≥256 ms. Expressed as fractions.
+func RAIDRProfile() RetentionProfile {
+	return RetentionProfile{Bins: []RetentionBin{
+		{WindowMs: 64, Fraction: 0.0005},
+		{WindowMs: 128, Fraction: 0.0143},
+		{WindowMs: 256, Fraction: 0.9852},
+	}}
+}
+
+// Validate checks that the bins partition the device.
+func (p RetentionProfile) Validate() error {
+	if len(p.Bins) == 0 {
+		return fmt.Errorf("core: retention profile has no bins")
+	}
+	sum := 0.0
+	last := 0.0
+	for i, b := range p.Bins {
+		if b.WindowMs < 64 {
+			return fmt.Errorf("core: bin %d window %v ms below the DDR4 floor", i, b.WindowMs)
+		}
+		if b.WindowMs <= last {
+			return fmt.Errorf("core: bins must be sorted by ascending window")
+		}
+		last = b.WindowMs
+		if b.Fraction < 0 {
+			return fmt.Errorf("core: bin %d has negative fraction", i)
+		}
+		sum += b.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("core: bin fractions sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// RefreshStreams builds the controller's heterogeneous refresh schedule for
+// a device where hpFraction of rows are high-performance:
+//
+//   - max-capacity rows refresh per their retention bin (plain RAIDR);
+//   - high-performance rows refresh per their bin stretched by
+//     hpMultiplier (the coupled-cell retention gain), capped at
+//     maxHPWindowMs (the Figure 11 sensing limit).
+//
+// Each bin of each mode population becomes one mem.RefreshStream whose
+// command rate is proportional to its row share.
+func (p RetentionProfile) RefreshStreams(clockNS float64, hpFraction, hpMultiplier, maxHPWindowMs float64) ([]mem.RefreshStream, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hpFraction < 0 || hpFraction > 1 {
+		return nil, fmt.Errorf("core: hpFraction %v outside [0,1]", hpFraction)
+	}
+	if hpMultiplier < 1 {
+		return nil, fmt.Errorf("core: retention multiplier %v below 1", hpMultiplier)
+	}
+	// The Figure 11 sensing limit (maxHPWindowMs) is measured at the 64 ms
+	// design-point leakage; a bin's weakest cell leaks proportionally less,
+	// so the limit scales with the bin window. The effective multiplier is
+	// therefore the smaller of the coupled-cell retention gain and the
+	// sensing-limit ratio.
+	effMult := math.Min(hpMultiplier, maxHPWindowMs/64.0)
+	const groups = 8192
+	var out []mem.RefreshStream
+	add := func(mode dram.Mode, windowMs, rowShare float64) {
+		if rowShare <= 0 {
+			return
+		}
+		interval := windowMs * 1e6 / clockNS / (groups * rowShare)
+		out = append(out, mem.RefreshStream{Mode: mode, Interval: interval})
+	}
+	for _, b := range p.Bins {
+		add(dram.ModeMaxCap, b.WindowMs, b.Fraction*(1-hpFraction))
+		add(dram.ModeHighPerf, b.WindowMs*effMult, b.Fraction*hpFraction)
+	}
+	return out, nil
+}
+
+// CommandsPerSecond returns the aggregate refresh-command rate of a stream
+// set — the analysis metric RAIDR reports (fewer commands = less refresh
+// energy and less rank blocking).
+func CommandsPerSecond(streams []mem.RefreshStream, clockNS float64) float64 {
+	rate := 0.0
+	for _, s := range streams {
+		rate += 1.0 / (s.Interval * clockNS * 1e-9)
+	}
+	return rate
+}
+
+// UniformStreams is the conventional schedule: every row refreshed at the
+// worst-case 64 ms window (one stream per mode population).
+func UniformStreams(clockNS float64, hpFraction float64) []mem.RefreshStream {
+	return mem.StandardRefresh(clockNS, dram.ModeMaxCap, hpFraction, 64)
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clrdram/internal/dram"
+)
+
+const busClock = 1.0 / 1.2
+
+func TestRAIDRProfileValid(t *testing.T) {
+	if err := RAIDRProfile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetentionProfileValidation(t *testing.T) {
+	bad := []RetentionProfile{
+		{}, // empty
+		{Bins: []RetentionBin{{WindowMs: 32, Fraction: 1}}},                                   // below floor
+		{Bins: []RetentionBin{{WindowMs: 128, Fraction: 0.5}, {WindowMs: 64, Fraction: 0.5}}}, // unsorted
+		{Bins: []RetentionBin{{WindowMs: 64, Fraction: 0.7}}},                                 // doesn't sum to 1
+		{Bins: []RetentionBin{{WindowMs: 64, Fraction: -0.1}, {WindowMs: 128, Fraction: 1.1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid", i)
+		}
+	}
+}
+
+func TestRAIDRReducesCommandRate(t *testing.T) {
+	// Plain RAIDR (0% HP rows) must cut the refresh-command rate by ≈4x
+	// versus uniform 64 ms (most rows move to 256 ms windows).
+	uniform := CommandsPerSecond(UniformStreams(busClock, 0), busClock)
+	streams, err := RAIDRProfile().RefreshStreams(busClock, 0, 3, 194)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raidr := CommandsPerSecond(streams, busClock)
+	ratio := raidr / uniform
+	if ratio > 0.30 || ratio < 0.24 {
+		t.Fatalf("RAIDR command-rate ratio = %.3f, want ≈0.26 (dominated by the 256 ms bin)", ratio)
+	}
+}
+
+func TestCLRComposesWithRAIDR(t *testing.T) {
+	// High-performance rows stretch every bin by the coupled-cell
+	// multiplier (capped at the sensing limit): CLR-DRAM + RAIDR beats
+	// either alone.
+	prof := RAIDRProfile()
+	raidrOnly, err := prof.RefreshStreams(busClock, 0, 3, 194)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clrOnly := UniformStreams(busClock, 1) // all HP at 64 ms — no RAIDR
+	both, err := prof.RefreshStreams(busClock, 1, 3, 194)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRAIDR := CommandsPerSecond(raidrOnly, busClock)
+	rCLR := CommandsPerSecond(clrOnly, busClock)
+	rBoth := CommandsPerSecond(both, busClock)
+	if rBoth >= rRAIDR {
+		t.Fatalf("CLR+RAIDR (%.0f cmd/s) should beat RAIDR alone (%.0f)", rBoth, rRAIDR)
+	}
+	if rBoth >= rCLR {
+		t.Fatalf("CLR+RAIDR (%.0f cmd/s) should beat uniform CLR (%.0f)", rBoth, rCLR)
+	}
+	if len(both) != 3 {
+		t.Fatalf("100%% HP should have one stream per bin, got %d", len(both))
+	}
+}
+
+func TestSensingLimitCapsWindows(t *testing.T) {
+	prof := RetentionProfile{Bins: []RetentionBin{{WindowMs: 256, Fraction: 1}}}
+	streams, err := prof.RefreshStreams(busClock, 1, 4, 194)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sensing ratio 194/64 ≈ 3.03 binds before the multiplier of 4:
+	// window = 256 · 194/64 ms.
+	want := 256 * (194.0 / 64.0) * 1e6 / busClock / 8192
+	if math.Abs(streams[0].Interval-want) > 1 {
+		t.Fatalf("capped interval = %v, want %v", streams[0].Interval, want)
+	}
+	if streams[0].Mode != dram.ModeHighPerf {
+		t.Fatal("wrong stream mode")
+	}
+}
+
+func TestMixedModeSplitsPopulations(t *testing.T) {
+	prof := RetentionProfile{Bins: []RetentionBin{
+		{WindowMs: 64, Fraction: 0.5},
+		{WindowMs: 128, Fraction: 0.5},
+	}}
+	streams, err := prof.RefreshStreams(busClock, 0.5, 2, 194)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 bins × 2 mode populations = 4 streams.
+	if len(streams) != 4 {
+		t.Fatalf("got %d streams, want 4", len(streams))
+	}
+	// Total command rate must equal the sum of each population refreshed
+	// at its own window: invariance check against double counting.
+	total := CommandsPerSecond(streams, busClock)
+	expect := 0.0
+	for _, w := range []float64{64, 128} { // max-capacity halves
+		expect += 0.5 * 0.5 * 8192 / (w * 1e-3)
+	}
+	for _, w := range []float64{128, 256} { // HP halves: windows ×2 (below the 194/64 sensing ratio)
+		expect += 0.5 * 0.5 * 8192 / (w * 1e-3)
+	}
+	if math.Abs(total-expect)/expect > 1e-9 {
+		t.Fatalf("command rate %v, want %v", total, expect)
+	}
+}
+
+func TestRefreshStreamsRejectBadInputs(t *testing.T) {
+	prof := RAIDRProfile()
+	if _, err := prof.RefreshStreams(busClock, -0.1, 3, 194); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	if _, err := prof.RefreshStreams(busClock, 0.5, 0.5, 194); err == nil {
+		t.Error("multiplier below 1 accepted")
+	}
+}

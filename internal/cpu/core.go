@@ -1,0 +1,239 @@
+// Package cpu implements the trace-driven processor core model of the
+// evaluated system (paper Table 2): 4 GHz, 4-wide issue, a 128-entry
+// instruction window, and 8 MSHRs per core — the same simple out-of-order
+// front end Ramulator's CPU-trace mode uses.
+//
+// The model issues up to IssueWidth instructions per cycle into a reorder
+// window and retires up to RetireWidth per cycle in order. Non-memory
+// instructions complete immediately; loads complete when the memory system
+// calls back; stores are posted (they retire immediately but still generate
+// memory traffic). Memory-level parallelism, MSHR stalls and window stalls —
+// the phenomena that make workloads latency-sensitive — all emerge from this
+// structure.
+package cpu
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"clrdram/internal/stats"
+	"clrdram/internal/trace"
+)
+
+// Config describes one core.
+type Config struct {
+	IssueWidth  int // instructions issued per cycle, default 4
+	RetireWidth int // instructions retired per cycle, default 4
+	WindowSize  int // reorder window entries, default 128
+	MSHRs       int // outstanding load misses, default 8
+}
+
+// Defaults fills zero fields with the paper's Table 2 values.
+func (c Config) Defaults() Config {
+	if c.IssueWidth == 0 {
+		c.IssueWidth = 4
+	}
+	if c.RetireWidth == 0 {
+		c.RetireWidth = 4
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 128
+	}
+	if c.MSHRs == 0 {
+		c.MSHRs = 8
+	}
+	return c
+}
+
+// MemPort is the memory system seen by a core. The system simulator
+// implements it over the LLC and memory controller.
+type MemPort interface {
+	// Load starts a load of addr for the given core. It returns false if
+	// the request cannot be accepted this cycle (MSHR/queue backpressure);
+	// the core will retry. On acceptance, onDone is called when the data is
+	// available to the core.
+	Load(core int, addr uint64, onDone func()) bool
+	// Store submits a posted store. It returns false on backpressure.
+	Store(core int, addr uint64) bool
+}
+
+// notReady marks a window entry whose load has not returned.
+const notReady = math.MaxInt64
+
+// Core is one trace-driven core.
+type Core struct {
+	id   int
+	cfg  Config
+	rd   trace.Reader
+	port MemPort
+
+	window []int64 // ready-at cycle per in-flight instruction (ring)
+	head   int
+	tail   int
+	count  int
+
+	// currently expanding trace record
+	bubblesLeft int
+	memPending  bool
+	memRec      trace.Record
+	eof         bool
+
+	loadsInFlight int
+
+	cycle       int64
+	retired     uint64
+	memAccesses uint64
+	llcMisses   uint64 // maintained by the sim layer via CountLLCMiss
+
+	// Target handling: Finished() becomes true once retired ≥ target;
+	// FinishedStats freezes at that moment.
+	target        uint64
+	finishedStats stats.CoreStats
+	finished      bool
+}
+
+// New creates a core reading from rd and accessing memory through port,
+// retiring at least target instructions (0 means run until trace EOF).
+func New(id int, cfg Config, rd trace.Reader, port MemPort, target uint64) *Core {
+	cfg = cfg.Defaults()
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		rd:     rd,
+		port:   port,
+		window: make([]int64, cfg.WindowSize),
+		target: target,
+	}
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// Cycle returns the core's local clock.
+func (c *Core) Cycle() int64 { return c.cycle }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Finished reports whether the core has retired its target (or hit EOF).
+func (c *Core) Finished() bool { return c.finished }
+
+// Stats returns the core's counters frozen at the point it finished (or
+// current values if still running). LLCMisses is maintained by the system
+// simulator via CountLLCMiss.
+func (c *Core) Stats() stats.CoreStats {
+	if c.finished {
+		return c.finishedStats
+	}
+	return c.snapshot()
+}
+
+func (c *Core) snapshot() stats.CoreStats {
+	return stats.CoreStats{
+		Instructions: c.retired,
+		MemAccesses:  c.memAccesses,
+		LLCMisses:    c.llcMisses,
+		Cycles:       uint64(c.cycle),
+	}
+}
+
+// CountLLCMiss increments the core's LLC miss counter; the system simulator
+// calls it when a load from this core misses the LLC.
+func (c *Core) CountLLCMiss() { c.llcMisses++ }
+
+// Tick advances the core one CPU cycle: retire, then issue.
+func (c *Core) Tick() {
+	c.retire()
+	c.issue()
+	c.cycle++
+	if !c.finished {
+		if (c.target > 0 && c.retired >= c.target) || (c.eof && c.count == 0 && !c.memPending) {
+			c.finished = true
+			c.finishedStats = c.snapshot()
+		}
+	}
+}
+
+// retire removes up to RetireWidth completed instructions from the window
+// head, in order.
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
+		if c.window[c.head] > c.cycle {
+			return // head not ready: in-order retirement stalls
+		}
+		c.head = (c.head + 1) % len(c.window)
+		c.count--
+		c.retired++
+	}
+}
+
+// issue inserts up to IssueWidth instructions into the window.
+func (c *Core) issue() {
+	for n := 0; n < c.cfg.IssueWidth; n++ {
+		if c.count >= len(c.window) {
+			return // window full
+		}
+		if c.bubblesLeft == 0 && !c.memPending {
+			if c.eof {
+				return
+			}
+			rec, err := c.rd.Next()
+			if err == io.EOF {
+				c.eof = true
+				return
+			}
+			if err != nil {
+				panic(fmt.Sprintf("cpu: trace read error: %v", err))
+			}
+			c.bubblesLeft = rec.Bubble
+			c.memPending = true
+			c.memRec = rec
+		}
+		if c.bubblesLeft > 0 {
+			// Non-memory instruction: ready immediately (retires next
+			// cycle at the earliest, in order).
+			c.insert(c.cycle)
+			c.bubblesLeft--
+			continue
+		}
+		// Memory instruction.
+		rec := c.memRec
+		if rec.Write {
+			if !c.port.Store(c.id, rec.Addr) {
+				return // backpressure: retry next cycle
+			}
+			c.memAccesses++
+			c.insert(c.cycle) // stores are posted: retire immediately
+			c.memPending = false
+			continue
+		}
+		if c.loadsInFlight >= c.cfg.MSHRs {
+			return // MSHR stall
+		}
+		slot := c.tail
+		if !c.port.Load(c.id, rec.Addr, c.loadDone(slot)) {
+			return // memory system backpressure
+		}
+		c.loadsInFlight++
+		c.memAccesses++
+		c.insert(notReady)
+		c.memPending = false
+	}
+}
+
+// insert appends one window entry with the given ready cycle.
+func (c *Core) insert(readyAt int64) {
+	c.window[c.tail] = readyAt
+	c.tail = (c.tail + 1) % len(c.window)
+	c.count++
+}
+
+// loadDone returns the completion callback for the load occupying the given
+// window slot.
+func (c *Core) loadDone(slot int) func() {
+	return func() {
+		c.window[slot] = c.cycle
+		c.loadsInFlight--
+	}
+}

@@ -1,0 +1,124 @@
+// Package dram implements a cycle-accurate DDR4 DRAM device model in the
+// style of Ramulator (Kim et al., CAL 2015), extended with the one mechanism
+// CLR-DRAM needs from its memory device: per-row operating-mode dependent
+// timing parameters.
+//
+// The device tracks the full DDR4 bank/bank-group/rank timing-constraint
+// state machine (tRCD, tRAS, tRP, tRC, tCCD_S/L, tRRD_S/L, tFAW, tWR, tRTP,
+// tWTR_S/L, read-to-write turnaround, tRFC). A command may be issued on a
+// given device cycle only if every constraint involving previously issued
+// commands is satisfied; the controller (package mem) queries CanIssue and
+// picks commands under its scheduling policy.
+//
+// Operating modes are opaque small integers. A plain DDR4 device uses a
+// single mode (0). A CLR-DRAM device registers one TimingSet per mode
+// (max-capacity, high-performance) and a RowModeSource that the device
+// consults when a row is activated; the row's mode then governs all
+// bank-level constraints until the row is precharged.
+package dram
+
+import "fmt"
+
+// Kind identifies a DRAM command type.
+type Kind uint8
+
+// DRAM command kinds. The model uses explicit precharge (no RDA/WRA): the
+// paper's controller uses a timeout-based open-row policy, which issues
+// separate PRE commands.
+const (
+	KindACT  Kind = iota // activate a row (charge sharing + restoration)
+	KindPRE              // precharge the bank (close the open row)
+	KindPREA             // precharge all banks (rank level)
+	KindRD               // column read burst
+	KindWR               // column write burst
+	KindREF              // all-bank refresh (rank level)
+	numKinds
+)
+
+// String returns the JEDEC-style mnemonic of the command kind.
+func (k Kind) String() string {
+	switch k {
+	case KindACT:
+		return "ACT"
+	case KindPRE:
+		return "PRE"
+	case KindPREA:
+		return "PREA"
+	case KindRD:
+		return "RD"
+	case KindWR:
+		return "WR"
+	case KindREF:
+		return "REF"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Command is a fully decoded DRAM command targeting one bank (or, for REF,
+// the whole rank).
+type Command struct {
+	Kind   Kind
+	Bank   int // flat bank index: bankGroup*BanksPerGroup + bank
+	Row    int // target row for ACT; ignored otherwise
+	Column int // target column for RD/WR; ignored otherwise
+	Mode   Mode
+}
+
+// Mode is a row operating mode. Mode 0 is the device default. CLR-DRAM uses
+// ModeMaxCap and ModeHighPerf; a plain DDR4 baseline uses only ModeDefault.
+type Mode uint8
+
+// Operating modes shared by the whole model. The numeric values index the
+// device's TimingSet table.
+const (
+	// ModeDefault is the single mode of an unmodified DDR4 device, and the
+	// index of the baseline timing set.
+	ModeDefault Mode = 0
+	// ModeMaxCap is CLR-DRAM max-capacity mode: full density, baseline-like
+	// latencies except for the coupled-precharge tRP reduction.
+	ModeMaxCap Mode = 1
+	// ModeHighPerf is CLR-DRAM high-performance mode: two coupled cells and
+	// two coupled sense amplifiers per logical cell; half density, sharply
+	// reduced tRCD/tRAS/tWR/tRP and cheaper refresh.
+	ModeHighPerf Mode = 2
+
+	// NumModes is the size of mode-indexed tables.
+	NumModes = 3
+)
+
+// String names the mode as used in the paper.
+func (m Mode) String() string {
+	switch m {
+	case ModeDefault:
+		return "baseline"
+	case ModeMaxCap:
+		return "max-capacity"
+	case ModeHighPerf:
+		return "high-performance"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// RowModeSource reports the operating mode of a row at activation time.
+// Implementations must be cheap: the device calls it once per ACT and once
+// per refresh scheduling decision.
+type RowModeSource interface {
+	RowMode(bank, row int) Mode
+}
+
+// FixedMode is a RowModeSource that returns the same mode for every row.
+type FixedMode Mode
+
+// RowMode implements RowModeSource.
+func (f FixedMode) RowMode(bank, row int) Mode { return Mode(f) }
+
+// CommandListener observes every command the device accepts. The power model
+// (package power) implements this to meter energy from the command stream.
+type CommandListener interface {
+	// OnCommand is invoked at the device cycle the command is issued. For
+	// ACT the mode is the activated row's mode; for PRE it is the mode of
+	// the row being closed; for REF it is the refresh stream's mode.
+	OnCommand(cmd Command, cycle int64)
+}

@@ -1,0 +1,371 @@
+package dram
+
+import (
+	"fmt"
+)
+
+// Config describes the geometry and timing of a DRAM rank. The model follows
+// the paper's system configuration (Table 2): one channel, one rank, four
+// bank groups with four banks each, a 16 Gb chip density and a 1200 MHz bus.
+type Config struct {
+	BankGroups    int // number of bank groups in the rank
+	BanksPerGroup int // banks per bank group
+	Rows          int // rows per bank
+	Columns       int // cache-line-sized columns per row (64 B each)
+	ClockNS       float64
+
+	// Timings is indexed by Mode. Entry 0 must be present; a plain DDR4
+	// device provides only entry 0. CLR-DRAM devices fill all NumModes
+	// entries (baseline entry unused but kept for symmetric indexing).
+	Timings [NumModes]TimingSet
+
+	// ModeOf reports the operating mode of each row. nil means every row
+	// operates in ModeDefault.
+	ModeOf RowModeSource
+
+	// Listener, if non-nil, observes every issued command (power metering).
+	Listener CommandListener
+}
+
+// Standard16Gb returns the paper's DDR4 geometry: 16 banks of 128 Ki rows,
+// each row holding 128 cache lines (8 KiB per rank row).
+func Standard16Gb() Config {
+	return Config{
+		BankGroups:    4,
+		BanksPerGroup: 4,
+		Rows:          1 << 17,
+		Columns:       128,
+		ClockNS:       1.0 / 1.2, // 1200 MHz
+	}
+}
+
+// Banks returns the flat number of banks in the rank.
+func (c Config) Banks() int { return c.BankGroups * c.BanksPerGroup }
+
+// Validate reports an error for impossible geometry or timing.
+func (c Config) Validate() error {
+	if c.BankGroups <= 0 || c.BanksPerGroup <= 0 || c.Rows <= 0 || c.Columns <= 0 {
+		return fmt.Errorf("dram: non-positive geometry %+v", c)
+	}
+	if c.ClockNS <= 0 {
+		return fmt.Errorf("dram: non-positive clock period %v", c.ClockNS)
+	}
+	if err := c.Timings[ModeDefault].Validate(); err != nil {
+		return fmt.Errorf("dram: default timing set: %w", err)
+	}
+	return nil
+}
+
+// bank holds the per-bank scheduling state.
+type bank struct {
+	open bool
+	row  int
+	mode Mode // mode of the open row; meaningful only when open
+
+	nextACT int64 // earliest cycle an ACT may issue
+	nextPRE int64 // earliest cycle a PRE may issue
+	nextRD  int64 // earliest cycle a RD may issue (bank-level: tRCD)
+	nextWR  int64 // earliest cycle a WR may issue (bank-level: tRCD)
+
+	lastColumnAccess int64 // last RD/WR issue cycle (for row-timeout policy)
+	openedAt         int64 // ACT issue cycle of the open row
+}
+
+// bankGroup holds per-bank-group column timing state (tCCD_L, tWTR_L).
+type bankGroup struct {
+	nextRD int64
+	nextWR int64
+}
+
+// Device is a cycle-accurate single-rank DRAM device. The controller drives
+// it by querying CanIssue and calling Issue; Clock() advances via the
+// controller's tick. All cycle values are in device (bus) clock cycles.
+type Device struct {
+	cfg    Config
+	banks  []bank
+	groups []bankGroup
+
+	// rank-level column constraints (tCCD_S, tWTR_S, turnaround).
+	rankNextRD int64
+	rankNextWR int64
+
+	// rank-level activation constraints.
+	rankNextACT int64    // tRRD_S across bank groups
+	groupActs   []int64  // per-group earliest next ACT (tRRD_L)
+	actWindow   [4]int64 // issue cycles of the last four ACTs (tFAW)
+	actWindowN  int
+
+	refBusyUntil int64 // end of an in-flight REF (tRFC)
+
+	clock int64
+
+	// statistics
+	CmdCounts [numKinds]uint64
+}
+
+// NewDevice constructs a device from cfg. It panics on invalid configuration
+// (construction is programmer-controlled; misconfiguration is a bug).
+func NewDevice(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	// Fill missing mode timing sets with the default set so a plain DDR4
+	// device can be built from a single TimingSet.
+	for m := 1; m < NumModes; m++ {
+		if cfg.Timings[m] == (TimingSet{}) {
+			cfg.Timings[m] = cfg.Timings[ModeDefault]
+		}
+	}
+	return &Device{
+		cfg:       cfg,
+		banks:     make([]bank, cfg.Banks()),
+		groups:    make([]bankGroup, cfg.BankGroups),
+		groupActs: make([]int64, cfg.BankGroups),
+	}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Clock returns the current device cycle.
+func (d *Device) Clock() int64 { return d.clock }
+
+// Tick advances the device clock by one cycle.
+func (d *Device) Tick() { d.clock++ }
+
+// modeOf resolves the operating mode of a row.
+func (d *Device) modeOf(bankIdx, row int) Mode {
+	if d.cfg.ModeOf == nil {
+		return ModeDefault
+	}
+	return d.cfg.ModeOf.RowMode(bankIdx, row)
+}
+
+// timing returns the timing set for a mode.
+func (d *Device) timing(m Mode) *TimingSet { return &d.cfg.Timings[m] }
+
+// BankState reports whether the bank has an open row and which row it is.
+func (d *Device) BankState(bankIdx int) (open bool, row int) {
+	b := &d.banks[bankIdx]
+	return b.open, b.row
+}
+
+// OpenRowIdleSince returns the cycle of the last column access to the open
+// row of a bank (or the ACT cycle if no access has happened yet). It is used
+// by the controller's timeout row policy. The second return is false when
+// the bank is closed.
+func (d *Device) OpenRowIdleSince(bankIdx int) (int64, bool) {
+	b := &d.banks[bankIdx]
+	if !b.open {
+		return 0, false
+	}
+	last := b.lastColumnAccess
+	if last < b.openedAt {
+		last = b.openedAt
+	}
+	return last, true
+}
+
+// CanIssue reports whether cmd may issue at the current cycle without
+// violating any timing constraint or state requirement.
+func (d *Device) CanIssue(cmd Command) bool {
+	return d.EarliestIssue(cmd) <= d.clock
+}
+
+// EarliestIssue returns the earliest cycle at which cmd could issue given
+// current state. For commands whose state prerequisites are not met (e.g. RD
+// on a closed bank), it returns a very large value; the controller must
+// first transform the request into the prerequisite command.
+func (d *Device) EarliestIssue(cmd Command) int64 {
+	const never = int64(1) << 62
+	if d.refBusyUntil > d.clock && cmd.Kind != KindREF {
+		// During tRFC nothing else may issue.
+		return d.refBusyUntil
+	}
+	switch cmd.Kind {
+	case KindACT:
+		b := &d.banks[cmd.Bank]
+		if b.open {
+			return never
+		}
+		t := max64(b.nextACT, d.rankNextACT)
+		t = max64(t, d.groupActs[cmd.Bank/d.cfg.BanksPerGroup])
+		if d.actWindowN >= 4 {
+			// tFAW: the 4th-previous ACT constrains this one.
+			m := d.modeOf(cmd.Bank, cmd.Row)
+			faw := d.actWindow[(d.actWindowN)%4]
+			t = max64(t, faw+int64(d.timing(m).FAW))
+		}
+		return t
+	case KindPRE:
+		b := &d.banks[cmd.Bank]
+		if !b.open {
+			return never
+		}
+		return b.nextPRE
+	case KindPREA:
+		// Precharge-all: legal once every open bank may precharge; a no-op
+		// for banks already closed.
+		t := int64(0)
+		any := false
+		for i := range d.banks {
+			b := &d.banks[i]
+			if b.open {
+				any = true
+				t = max64(t, b.nextPRE)
+			}
+		}
+		if !any {
+			return d.clock // idempotent on an all-closed rank
+		}
+		return t
+	case KindRD:
+		b := &d.banks[cmd.Bank]
+		if !b.open || b.row != cmd.Row {
+			return never
+		}
+		g := &d.groups[cmd.Bank/d.cfg.BanksPerGroup]
+		return max64(b.nextRD, max64(g.nextRD, d.rankNextRD))
+	case KindWR:
+		b := &d.banks[cmd.Bank]
+		if !b.open || b.row != cmd.Row {
+			return never
+		}
+		g := &d.groups[cmd.Bank/d.cfg.BanksPerGroup]
+		return max64(b.nextWR, max64(g.nextWR, d.rankNextWR))
+	case KindREF:
+		// REF requires every bank precharged and past its tRP.
+		t := d.refBusyUntil
+		for i := range d.banks {
+			b := &d.banks[i]
+			if b.open {
+				return never
+			}
+			t = max64(t, b.nextACT)
+		}
+		return t
+	default:
+		return never
+	}
+}
+
+// Issue applies cmd to the device state. It panics if the command cannot
+// legally issue this cycle: the controller must only issue commands for
+// which CanIssue returned true (issuing early is a controller bug, not a
+// recoverable condition).
+func (d *Device) Issue(cmd Command) {
+	if e := d.EarliestIssue(cmd); e > d.clock {
+		panic(fmt.Sprintf("dram: %s issued at cycle %d, earliest legal %d", cmd.Kind, d.clock, e))
+	}
+	now := d.clock
+	switch cmd.Kind {
+	case KindACT:
+		m := d.modeOf(cmd.Bank, cmd.Row)
+		cmd.Mode = m
+		t := d.timing(m)
+		b := &d.banks[cmd.Bank]
+		b.open = true
+		b.row = cmd.Row
+		b.mode = m
+		b.openedAt = now
+		b.lastColumnAccess = now
+		b.nextRD = now + int64(t.RCD)
+		b.nextWR = now + int64(t.RCD)
+		b.nextPRE = now + int64(t.RAS)
+		b.nextACT = now + int64(t.RC) // same-bank ACT→ACT
+		// ACT → ACT: tRRD_S rank-wide, tRRD_L within the bank group.
+		d.rankNextACT = max64(d.rankNextACT, now+int64(t.RRDS))
+		d.groupNextACTSet(cmd.Bank/d.cfg.BanksPerGroup, now+int64(t.RRDL))
+		d.actWindow[d.actWindowN%4] = now
+		d.actWindowN++
+	case KindPRE:
+		b := &d.banks[cmd.Bank]
+		t := d.timing(b.mode)
+		cmd.Mode = b.mode
+		cmd.Row = b.row
+		b.open = false
+		b.nextACT = max64(b.nextACT, now+int64(t.RP))
+	case KindPREA:
+		for i := range d.banks {
+			b := &d.banks[i]
+			if !b.open {
+				continue
+			}
+			t := d.timing(b.mode)
+			b.open = false
+			b.nextACT = max64(b.nextACT, now+int64(t.RP))
+		}
+	case KindRD:
+		b := &d.banks[cmd.Bank]
+		t := d.timing(b.mode)
+		cmd.Mode = b.mode
+		b.lastColumnAccess = now
+		// RD → PRE: tRTP.
+		b.nextPRE = max64(b.nextPRE, now+int64(t.RTP))
+		// RD → RD: tCCD_L within the group, tCCD_S across groups.
+		gi := cmd.Bank / d.cfg.BanksPerGroup
+		d.groups[gi].nextRD = max64(d.groups[gi].nextRD, now+int64(t.CCDL))
+		d.rankNextRD = max64(d.rankNextRD, now+int64(t.CCDS))
+		// RD → WR turnaround (rank level).
+		d.rankNextWR = max64(d.rankNextWR, now+int64(t.RTW))
+		d.groups[gi].nextWR = max64(d.groups[gi].nextWR, now+int64(t.RTW))
+	case KindWR:
+		b := &d.banks[cmd.Bank]
+		t := d.timing(b.mode)
+		cmd.Mode = b.mode
+		b.lastColumnAccess = now
+		// WR → PRE: tCWL + tBL + tWR (write recovery measured from the end
+		// of the data burst).
+		b.nextPRE = max64(b.nextPRE, now+int64(t.CWL+t.BL+t.WR))
+		// WR → WR: tCCD.
+		gi := cmd.Bank / d.cfg.BanksPerGroup
+		d.groups[gi].nextWR = max64(d.groups[gi].nextWR, now+int64(t.CCDL))
+		d.rankNextWR = max64(d.rankNextWR, now+int64(t.CCDS))
+		// WR → RD: tCWL + tBL + tWTR.
+		d.groups[gi].nextRD = max64(d.groups[gi].nextRD, now+int64(t.CWL+t.BL+t.WTRL))
+		d.rankNextRD = max64(d.rankNextRD, now+int64(t.CWL+t.BL+t.WTRS))
+	case KindREF:
+		t := d.timing(cmd.Mode)
+		d.refBusyUntil = now + int64(t.RFC)
+		for i := range d.banks {
+			b := &d.banks[i]
+			b.nextACT = max64(b.nextACT, d.refBusyUntil)
+		}
+	}
+	d.CmdCounts[cmd.Kind]++
+	if d.cfg.Listener != nil {
+		d.cfg.Listener.OnCommand(cmd, now)
+	}
+}
+
+// groupNextACTSet raises the per-group tRRD_L floor for future ACTs.
+func (d *Device) groupNextACTSet(group int, cycle int64) {
+	if cycle > d.groupActs[group] {
+		d.groupActs[group] = cycle
+	}
+}
+
+// ReadLatency returns CL+BL for the mode of the open row in bank: the number
+// of cycles after RD issue when the last data beat has transferred.
+func (d *Device) ReadLatency(bankIdx int) int {
+	b := &d.banks[bankIdx]
+	t := d.timing(b.mode)
+	return t.CL + t.BL
+}
+
+// WriteLatency returns CWL+BL for the open row's mode.
+func (d *Device) WriteLatency(bankIdx int) int {
+	b := &d.banks[bankIdx]
+	t := d.timing(b.mode)
+	return t.CWL + t.BL
+}
+
+// RefreshBusy reports whether a refresh is in flight at the current cycle.
+func (d *Device) RefreshBusy() bool { return d.refBusyUntil > d.clock }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package dram
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimingNS holds DRAM timing parameters in nanoseconds, the unit the paper
+// (and circuit simulation) reports. Convert to device cycles with ToCycles.
+type TimingNS struct {
+	RCD  float64 // ACT → RD/WR (ready-to-access)
+	RAS  float64 // ACT → PRE (restoration complete)
+	RP   float64 // PRE → ACT (bitlines precharged)
+	WR   float64 // end of write burst → PRE (write recovery)
+	RTP  float64 // RD → PRE
+	CL   float64 // RD → first data beat
+	CWL  float64 // WR → first data beat
+	RRDS float64 // ACT → ACT, different bank groups
+	RRDL float64 // ACT → ACT, same bank group
+	FAW  float64 // rolling window for any four ACTs in a rank
+	WTRS float64 // end of write data → RD, different bank group
+	WTRL float64 // end of write data → RD, same bank group
+	RFC  float64 // REF → any command
+	REFI float64 // average interval between REF commands (64 ms window)
+}
+
+// DDR4BaselineNS returns the paper's baseline timing parameters: tRCD, tRAS,
+// tRP and tWR come from the authors' SPICE model (Table 1, Baseline column);
+// the remaining parameters come from a 16 Gb DDR4-2400 datasheet.
+func DDR4BaselineNS() TimingNS {
+	return TimingNS{
+		RCD:  13.8,
+		RAS:  39.4,
+		RP:   15.5,
+		WR:   12.5,
+		RTP:  7.5,
+		CL:   13.32, // 16 cycles at 1200 MHz
+		CWL:  10.0,  // 12 cycles
+		RRDS: 3.3,
+		RRDL: 4.9,
+		FAW:  30.0,
+		WTRS: 2.5,
+		WTRL: 7.5,
+		RFC:  350.0,  // 16 Gb density
+		REFI: 7812.5, // 64 ms / 8192
+	}
+}
+
+// MaxCapNS returns the paper's max-capacity mode parameters (Table 1):
+// slightly lower tRCD (SA decoupled from long bitlines), slightly higher
+// tRAS/tWR (current limited by the mode select transistors), and the
+// coupled-precharge tRP reduction that applies in both CLR modes.
+func MaxCapNS() TimingNS {
+	t := DDR4BaselineNS()
+	t.RCD = 13.2
+	t.RAS = 40.3
+	t.RP = 8.3
+	t.WR = 13.3
+	return t
+}
+
+// HighPerfNS returns the paper's high-performance mode parameters
+// (Table 1). earlyTermination selects the "w/ E.T." column: early
+// termination of charge restoration trades a 0.1 ns tRCD increase for large
+// additional tRAS and tWR reductions.
+func HighPerfNS(earlyTermination bool) TimingNS {
+	t := DDR4BaselineNS()
+	t.RP = 8.3
+	if earlyTermination {
+		t.RCD = 5.5
+		t.RAS = 14.1
+		t.WR = 8.1
+	} else {
+		t.RCD = 5.4
+		t.RAS = 20.3
+		t.WR = 12.5
+	}
+	// §8.1: tRFC for high-performance rows is the default tRFC reduced by
+	// the average of the tRAS and tRP reductions.
+	rasRed := 1 - t.RAS/39.4
+	rpRed := 1 - t.RP/15.5
+	t.RFC = 350.0 * (1 - (rasRed+rpRed)/2)
+	return t
+}
+
+// TimingSet holds the same parameters as TimingNS converted to integer
+// device-clock cycles (each value rounded up, as a real controller must).
+type TimingSet struct {
+	RCD, RAS, RP, WR, RTP int
+	CL, CWL, BL           int
+	CCDS, CCDL            int
+	RRDS, RRDL, FAW       int
+	WTRS, WTRL            int
+	RTW                   int // read-command → write-command gap
+	RFC, REFI             int
+	RC                    int // RAS + RP, derived
+}
+
+// ToCycles converts nanosecond timings to cycles of a clock with the given
+// period (ns). Burst length and CCD are fixed by the DDR4 protocol (BL8 on a
+// double data rate bus occupies 4 clock cycles; tCCD_S = 4, tCCD_L = 6).
+func (t TimingNS) ToCycles(clockNS float64) TimingSet {
+	c := func(ns float64) int {
+		if ns <= 0 {
+			return 0
+		}
+		return int(math.Ceil(ns/clockNS - 1e-9))
+	}
+	s := TimingSet{
+		RCD:  c(t.RCD),
+		RAS:  c(t.RAS),
+		RP:   c(t.RP),
+		WR:   c(t.WR),
+		RTP:  c(t.RTP),
+		CL:   c(t.CL),
+		CWL:  c(t.CWL),
+		BL:   4,
+		CCDS: 4,
+		CCDL: 6,
+		RRDS: maxInt(c(t.RRDS), 4),
+		RRDL: maxInt(c(t.RRDL), 4),
+		FAW:  c(t.FAW),
+		WTRS: c(t.WTRS),
+		WTRL: c(t.WTRL),
+		RFC:  c(t.RFC),
+		REFI: c(t.REFI),
+	}
+	// JEDEC read-to-write turnaround: CL - CWL + BL + 2.
+	s.RTW = s.CL - s.CWL + s.BL + 2
+	if s.RTW < s.CCDS {
+		s.RTW = s.CCDS
+	}
+	s.RC = s.RAS + s.RP
+	return s
+}
+
+// Validate reports an error if any parameter is nonsensical for use by the
+// device state machine.
+func (s TimingSet) Validate() error {
+	type field struct {
+		name string
+		v    int
+	}
+	for _, f := range []field{
+		{"RCD", s.RCD}, {"RAS", s.RAS}, {"RP", s.RP}, {"WR", s.WR},
+		{"RTP", s.RTP}, {"CL", s.CL}, {"CWL", s.CWL}, {"BL", s.BL},
+		{"CCDS", s.CCDS}, {"CCDL", s.CCDL}, {"RRDS", s.RRDS},
+		{"RRDL", s.RRDL}, {"FAW", s.FAW}, {"WTRS", s.WTRS},
+		{"WTRL", s.WTRL}, {"RFC", s.RFC}, {"REFI", s.REFI},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("dram: timing %s must be positive, got %d", f.name, f.v)
+		}
+	}
+	if s.RAS < s.RCD {
+		return fmt.Errorf("dram: tRAS (%d) < tRCD (%d)", s.RAS, s.RCD)
+	}
+	if s.CCDL < s.CCDS {
+		return fmt.Errorf("dram: tCCD_L (%d) < tCCD_S (%d)", s.CCDL, s.CCDS)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

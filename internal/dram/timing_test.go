@@ -1,0 +1,132 @@
+package dram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDDR4BaselineMatchesPaperTable1(t *testing.T) {
+	b := DDR4BaselineNS()
+	if b.RCD != 13.8 || b.RAS != 39.4 || b.RP != 15.5 || b.WR != 12.5 {
+		t.Fatalf("baseline core timings do not match Table 1: %+v", b)
+	}
+}
+
+func TestMaxCapMatchesPaperTable1(t *testing.T) {
+	m := MaxCapNS()
+	if m.RCD != 13.2 || m.RAS != 40.3 || m.RP != 8.3 || m.WR != 13.3 {
+		t.Fatalf("max-capacity timings do not match Table 1: %+v", m)
+	}
+	b := DDR4BaselineNS()
+	// Paper §7.2: tRCD −4.4%, tRAS +2.2%, tWR +6.4%, tRP −46.4%.
+	if red := 1 - m.RP/b.RP; math.Abs(red-0.464) > 0.005 {
+		t.Fatalf("max-cap tRP reduction = %.3f, want ≈0.464", red)
+	}
+}
+
+func TestHighPerfMatchesPaperTable1(t *testing.T) {
+	b := DDR4BaselineNS()
+	et := HighPerfNS(true)
+	noEt := HighPerfNS(false)
+	if et.RCD != 5.5 || et.RAS != 14.1 || et.WR != 8.1 || et.RP != 8.3 {
+		t.Fatalf("HP w/ E.T. timings do not match Table 1: %+v", et)
+	}
+	if noEt.RCD != 5.4 || noEt.RAS != 20.3 || noEt.WR != 12.5 {
+		t.Fatalf("HP w/o E.T. timings do not match Table 1: %+v", noEt)
+	}
+	// Headline reductions (abstract): tRCD 60.1%, tRAS 64.2%, tWR 35.2%,
+	// tRP 46.4%.
+	checks := []struct {
+		name      string
+		have      float64
+		wantRatio float64
+	}{
+		{"tRCD", 1 - et.RCD/b.RCD, 0.601},
+		{"tRAS", 1 - et.RAS/b.RAS, 0.642},
+		{"tWR", 1 - et.WR/b.WR, 0.352},
+		{"tRP", 1 - et.RP/b.RP, 0.464},
+	}
+	for _, c := range checks {
+		if math.Abs(c.have-c.wantRatio) > 0.005 {
+			t.Errorf("%s reduction = %.3f, want ≈%.3f", c.name, c.have, c.wantRatio)
+		}
+	}
+	// Early termination must not increase tRAS/tWR and only marginally
+	// increase tRCD (paper: +0.1 ns).
+	if et.RAS >= noEt.RAS || et.WR >= noEt.WR {
+		t.Error("early termination should reduce tRAS and tWR")
+	}
+	if et.RCD-noEt.RCD > 0.11 {
+		t.Errorf("early termination tRCD penalty %.2f ns, want ≤0.1 ns", et.RCD-noEt.RCD)
+	}
+	// tRFC scaling: reduced by the mean of the tRAS and tRP reductions.
+	rasRed := 1 - et.RAS/b.RAS
+	rpRed := 1 - et.RP/b.RP
+	want := 350.0 * (1 - (rasRed+rpRed)/2)
+	if math.Abs(et.RFC-want) > 1e-9 {
+		t.Errorf("HP tRFC = %v, want %v", et.RFC, want)
+	}
+}
+
+func TestToCyclesRoundsUp(t *testing.T) {
+	ts := DDR4BaselineNS().ToCycles(1.0 / 1.2)
+	// 13.8 ns at 0.8333 ns/cycle = 16.56 → 17 cycles.
+	if ts.RCD != 17 {
+		t.Fatalf("RCD cycles = %d, want 17", ts.RCD)
+	}
+	if ts.RAS != 48 { // 39.4/0.8333 = 47.28 → 48
+		t.Fatalf("RAS cycles = %d, want 48", ts.RAS)
+	}
+	if ts.RC != ts.RAS+ts.RP {
+		t.Fatalf("RC = %d, want RAS+RP = %d", ts.RC, ts.RAS+ts.RP)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("baseline cycles invalid: %v", err)
+	}
+}
+
+func TestToCyclesNeverUndershoots(t *testing.T) {
+	// Property: cycles * clockNS >= ns for every parameter (a controller
+	// may never run a constraint shorter than the analog requirement).
+	f := func(rcdRaw, clockRaw uint16) bool {
+		clock := 0.3 + float64(clockRaw%2000)/1000.0 // 0.3..2.3 ns
+		ns := DDR4BaselineNS()
+		ns.RCD = 1 + float64(rcdRaw%400)/10.0 // 1..41 ns
+		ts := ns.ToCycles(clock)
+		return float64(ts.RCD)*clock >= ns.RCD-1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadTimings(t *testing.T) {
+	good := DDR4BaselineNS().ToCycles(1.0 / 1.2)
+	bad := good
+	bad.RCD = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero RCD should be invalid")
+	}
+	bad = good
+	bad.RAS = bad.RCD - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("RAS < RCD should be invalid")
+	}
+	bad = good
+	bad.CCDL = bad.CCDS - 1
+	if err := bad.Validate(); err == nil {
+		t.Error("CCDL < CCDS should be invalid")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDefault.String() != "baseline" ||
+		ModeMaxCap.String() != "max-capacity" ||
+		ModeHighPerf.String() != "high-performance" {
+		t.Error("mode names changed")
+	}
+	if KindACT.String() != "ACT" || KindREF.String() != "REF" {
+		t.Error("kind names changed")
+	}
+}

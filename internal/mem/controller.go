@@ -1,0 +1,550 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"clrdram/internal/dram"
+	"clrdram/internal/stats"
+)
+
+// Request is one cache-line memory transaction submitted to the controller.
+type Request struct {
+	Addr  uint64 // physical byte address
+	Write bool
+	Core  int // issuing core, for per-core statistics
+
+	// OnComplete, if non-nil, is called exactly once: for reads at the
+	// device cycle the last data beat arrives, for writes at the cycle the
+	// write command issues (writes are posted).
+	OnComplete func(cycle int64)
+
+	decoded    Address
+	enqueuedAt int64
+	classified bool
+}
+
+// Config parameterises the controller. Zero values select the paper's
+// Table 2 configuration where a default exists.
+type Config struct {
+	ReadQueueCap  int     // default 64
+	WriteQueueCap int     // default 64
+	RowHitCap     int     // FR-FCFS-Cap consecutive row-hit cap, default 4
+	RowTimeoutNS  float64 // open-row timeout, default 120 ns
+	WriteHigh     int     // write drain start watermark, default 3/4 of cap
+	WriteLow      int     // write drain stop watermark, default 1/4 of cap
+	Scheme        Scheme
+
+	// MaxPostponedRefresh enables DDR4 refresh postponement: a due REF may
+	// be deferred while requests are pending, up to this many intervals
+	// behind schedule (JEDEC allows 8). 0 disables postponement (a due
+	// refresh always preempts, the paper's conservative setting).
+	MaxPostponedRefresh int
+
+	// Refresh streams. Empty means refresh disabled (useful in unit tests).
+	Refresh []RefreshStream
+}
+
+// RefreshStream describes one periodic refresh obligation (paper §5.2): the
+// rows of a given operating mode are collectively refreshed by REF commands
+// issued every Interval device cycles, each occupying the device for that
+// mode's tRFC.
+type RefreshStream struct {
+	Mode     dram.Mode
+	Interval float64 // device cycles between REF commands of this stream
+}
+
+// StandardRefresh returns the refresh stream set for a device where a
+// fraction hpFrac of all rows operate in high-performance mode with refresh
+// window hpREFWms (ms), and the rest in mcMode (ModeDefault for a plain DDR4
+// baseline, ModeMaxCap for CLR-DRAM) with the standard 64 ms window.
+//
+// DDR4 refreshes a rank with 8192 REF commands per window. When only a
+// fraction f of rows belong to a stream, that stream needs f·8192 commands
+// per window, so its inter-command interval stretches by 1/f.
+func StandardRefresh(clockNS float64, mcMode dram.Mode, hpFrac, hpREFWms float64) []RefreshStream {
+	const groups = 8192
+	var streams []RefreshStream
+	if hpFrac < 1 {
+		interval := 64e6 / clockNS / (groups * (1 - hpFrac))
+		streams = append(streams, RefreshStream{Mode: mcMode, Interval: interval})
+	}
+	if hpFrac > 0 {
+		interval := hpREFWms * 1e6 / clockNS / (groups * hpFrac)
+		streams = append(streams, RefreshStream{Mode: dram.ModeHighPerf, Interval: interval})
+	}
+	return streams
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	RowBuffer     stats.RowBufferStats
+	ReadsServed   uint64
+	WritesServed  uint64
+	Refreshes     uint64
+	TimeoutCloses uint64          // PREs issued by the timeout row policy
+	ReadLatency   stats.Histogram // enqueue→data, device cycles
+}
+
+// Controller owns a single-rank DRAM device and schedules requests onto it.
+type Controller struct {
+	dev *Device
+	cfg Config
+
+	readQ  []*Request
+	writeQ []*Request
+
+	draining bool
+
+	hitStreak []int // consecutive row hits served per bank (FR-FCFS-Cap)
+
+	timeoutCycles int64
+
+	// refresh bookkeeping
+	refNext    []float64 // next due cycle per stream
+	refPending int       // index of stream awaiting issue, -1 if none
+
+	completions completionHeap
+
+	mapper *Mapper
+
+	st Stats
+}
+
+// Device wraps the dram.Device so tests can substitute geometry; it is a
+// thin alias kept for readability of Controller's fields.
+type Device = dram.Device
+
+// NewController builds a controller over dev.
+func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
+	if cfg.ReadQueueCap == 0 {
+		cfg.ReadQueueCap = 64
+	}
+	if cfg.WriteQueueCap == 0 {
+		cfg.WriteQueueCap = 64
+	}
+	if cfg.RowHitCap == 0 {
+		cfg.RowHitCap = 4
+	}
+	if cfg.RowTimeoutNS == 0 {
+		cfg.RowTimeoutNS = 120
+	}
+	if cfg.WriteHigh == 0 {
+		cfg.WriteHigh = cfg.WriteQueueCap * 3 / 4
+	}
+	if cfg.WriteLow == 0 {
+		cfg.WriteLow = cfg.WriteQueueCap / 4
+	}
+	if cfg.WriteLow >= cfg.WriteHigh {
+		return nil, fmt.Errorf("mem: write watermarks inverted (low %d ≥ high %d)", cfg.WriteLow, cfg.WriteHigh)
+	}
+	c := &Controller{
+		dev:           dev,
+		cfg:           cfg,
+		hitStreak:     make([]int, dev.Config().Banks()),
+		timeoutCycles: int64(math.Ceil(cfg.RowTimeoutNS / dev.Config().ClockNS)),
+		refNext:       make([]float64, len(cfg.Refresh)),
+		refPending:    -1,
+		st:            Stats{ReadLatency: *stats.NewHistogram(512, 4)},
+	}
+	for i, s := range cfg.Refresh {
+		if s.Interval <= 0 {
+			return nil, fmt.Errorf("mem: refresh stream %d has non-positive interval", i)
+		}
+		c.refNext[i] = s.Interval
+	}
+	m, err := NewMapper(dev.Config(), cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	c.mapper = m
+	return c, nil
+}
+
+// Mapper returns the controller's address mapper.
+func (c *Controller) Mapper() *Mapper { return c.mapper }
+
+// SetRefresh replaces the refresh stream set at run time (dynamic CLR-DRAM
+// reconfiguration changes the mode population and therefore the per-stream
+// command rates, §5.2). Each new stream's first command is due one interval
+// from now; an armed-but-unissued refresh is dropped (its rows are covered
+// by the new schedule within one window).
+func (c *Controller) SetRefresh(streams []RefreshStream) error {
+	for i, s := range streams {
+		if s.Interval <= 0 {
+			return fmt.Errorf("mem: refresh stream %d has non-positive interval", i)
+		}
+	}
+	now := float64(c.dev.Clock())
+	c.cfg.Refresh = streams
+	c.refNext = make([]float64, len(streams))
+	for i, s := range streams {
+		c.refNext[i] = now + s.Interval
+	}
+	c.refPending = -1
+	return nil
+}
+
+// Clock returns the current device cycle.
+func (c *Controller) Clock() int64 { return c.dev.Clock() }
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats { return c.st }
+
+// Pending returns the number of queued (unissued) requests.
+func (c *Controller) Pending() int { return len(c.readQ) + len(c.writeQ) }
+
+// CanEnqueue reports whether a request of the given kind would be accepted.
+func (c *Controller) CanEnqueue(write bool) bool {
+	if write {
+		return len(c.writeQ) < c.cfg.WriteQueueCap
+	}
+	return len(c.readQ) < c.cfg.ReadQueueCap
+}
+
+// Enqueue submits a request; it returns false if the target queue is full
+// (the caller must retry later — this is the backpressure the core model
+// sees as MSHR stalls).
+func (c *Controller) Enqueue(req *Request) bool {
+	if !c.CanEnqueue(req.Write) {
+		return false
+	}
+	req.decoded = c.mapper.Decode(req.Addr)
+	req.enqueuedAt = c.dev.Clock()
+	if req.Write {
+		c.writeQ = append(c.writeQ, req)
+	} else {
+		c.readQ = append(c.readQ, req)
+	}
+	return true
+}
+
+// EnqueueDecoded is Enqueue for callers that already hold a decoded address
+// (the system simulator decodes once through its page mapping layer).
+func (c *Controller) EnqueueDecoded(req *Request, da Address) bool {
+	if !c.CanEnqueue(req.Write) {
+		return false
+	}
+	req.decoded = da
+	req.enqueuedAt = c.dev.Clock()
+	if req.Write {
+		c.writeQ = append(c.writeQ, req)
+	} else {
+		c.readQ = append(c.readQ, req)
+	}
+	return true
+}
+
+// Tick advances the controller and device by one device cycle: it fires due
+// completions, then issues at most one command chosen by priority —
+// refresh, scheduled request commands, timeout row closes.
+func (c *Controller) Tick() {
+	now := c.dev.Clock()
+
+	for c.completions.Len() > 0 && c.completions.Peek().cycle <= now {
+		ev := c.completions.Pop()
+		if ev.req.OnComplete != nil {
+			ev.req.OnComplete(ev.cycle)
+		}
+	}
+
+	issued := c.tickRefresh(now)
+	if !issued && c.refPending == -1 {
+		// A pending refresh blocks new request scheduling: otherwise the
+		// scheduler keeps re-opening banks and REF starves forever.
+		issued = c.tickSchedule(now)
+	}
+	if !issued {
+		c.tickRowTimeout(now)
+	}
+
+	c.dev.Tick()
+}
+
+// tickRefresh arms due refresh streams and drives an armed refresh to
+// completion: precharge the rank (PREA), then issue REF. Returns true if
+// it issued a command this cycle.
+//
+// With MaxPostponedRefresh > 0, a due refresh is deferred while the queues
+// hold work, up to the postponement budget (DDR4's pulled-in/postponed
+// refresh mechanism) — the device then catches up during idle phases.
+func (c *Controller) tickRefresh(now int64) bool {
+	if c.refPending == -1 {
+		for i := range c.refNext {
+			if float64(now) < c.refNext[i] {
+				continue
+			}
+			if c.cfg.MaxPostponedRefresh > 0 && c.Pending() > 0 {
+				behind := (float64(now) - c.refNext[i]) / c.cfg.Refresh[i].Interval
+				if behind < float64(c.cfg.MaxPostponedRefresh) {
+					continue // postpone: serve traffic first
+				}
+			}
+			c.refPending = i
+			break
+		}
+	}
+	if c.refPending == -1 {
+		return false
+	}
+	// Precharge the whole rank in one command if any bank is open.
+	anyOpen := false
+	banks := c.dev.Config().Banks()
+	for b := 0; b < banks; b++ {
+		if open, _ := c.dev.BankState(b); open {
+			anyOpen = true
+			break
+		}
+	}
+	if anyOpen {
+		prea := dram.Command{Kind: dram.KindPREA}
+		if c.dev.CanIssue(prea) {
+			c.dev.Issue(prea)
+			for b := 0; b < banks; b++ {
+				c.resetStreak(b)
+			}
+			return true
+		}
+		return false // wait for tRAS/tWR across open banks
+	}
+	ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
+	if !c.dev.CanIssue(ref) {
+		return false
+	}
+	c.dev.Issue(ref)
+	c.st.Refreshes++
+	c.refNext[c.refPending] += c.cfg.Refresh[c.refPending].Interval
+	c.refPending = -1
+	return true
+}
+
+// activeQueue selects read or write queue per the drain policy.
+func (c *Controller) activeQueue() *[]*Request {
+	if c.draining {
+		if len(c.writeQ) <= c.cfg.WriteLow {
+			c.draining = false
+		}
+	} else {
+		if len(c.writeQ) >= c.cfg.WriteHigh || (len(c.readQ) == 0 && len(c.writeQ) > 0) {
+			c.draining = true
+		}
+	}
+	if c.draining {
+		return &c.writeQ
+	}
+	return &c.readQ
+}
+
+// tickSchedule implements FR-FCFS-Cap over the active queue. Returns true
+// if a command was issued.
+func (c *Controller) tickSchedule(now int64) bool {
+	q := c.activeQueue()
+	if len(*q) == 0 {
+		return false
+	}
+
+	// Pass 1 — row hits, oldest first, unless the bank's consecutive-hit
+	// streak has reached the cap while an older request waits on a
+	// different row of the same bank (the "Cap" in FR-FCFS-Cap, which
+	// bounds inter-thread row-hit starvation).
+	for i, req := range *q {
+		open, row := c.dev.BankState(req.decoded.Bank)
+		if !open || row != req.decoded.Row {
+			continue
+		}
+		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
+			continue
+		}
+		if c.issueColumn(req, now) {
+			c.removeAt(q, i)
+			return true
+		}
+	}
+
+	// Pass 2 — oldest first, issue whatever command the request needs next.
+	for i, req := range *q {
+		open, row := c.dev.BankState(req.decoded.Bank)
+		switch {
+		case open && row == req.decoded.Row:
+			// Respect the cap here too: if the bank's hit streak is
+			// exhausted and an older conflicting request is waiting (e.g.
+			// for tRAS before its PRE), serving this hit would starve it.
+			if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
+				continue
+			}
+			if c.issueColumn(req, now) {
+				c.removeAt(q, i)
+				return true
+			}
+		case open: // conflict: need PRE
+			// Do not close a row that still has queued row hits that have
+			// not exhausted the cap — pass 1 will serve them first.
+			cmd := dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank}
+			if c.dev.CanIssue(cmd) {
+				c.classify(req, &c.st.RowBuffer.Conflicts)
+				c.dev.Issue(cmd)
+				c.resetStreak(req.decoded.Bank)
+				return true
+			}
+		default: // closed: need ACT
+			cmd := dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row}
+			if c.dev.CanIssue(cmd) {
+				c.classify(req, &c.st.RowBuffer.Misses)
+				c.dev.Issue(cmd)
+				c.resetStreak(req.decoded.Bank)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// issueColumn issues the RD/WR for req if timing allows, scheduling its
+// completion. Returns true on issue.
+func (c *Controller) issueColumn(req *Request, now int64) bool {
+	kind := dram.KindRD
+	if req.Write {
+		kind = dram.KindWR
+	}
+	cmd := dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column}
+	if !c.dev.CanIssue(cmd) {
+		return false
+	}
+	c.classify(req, &c.st.RowBuffer.Hits)
+	c.dev.Issue(cmd)
+	c.hitStreak[req.decoded.Bank]++
+	if req.Write {
+		c.st.WritesServed++
+		if req.OnComplete != nil {
+			req.OnComplete(now)
+		}
+	} else {
+		c.st.ReadsServed++
+		done := now + int64(c.dev.ReadLatency(req.decoded.Bank))
+		c.st.ReadLatency.Add(float64(done - req.enqueuedAt))
+		c.completions.Push(completion{cycle: done, req: req})
+	}
+	return true
+}
+
+// classify counts the request's row-buffer outcome the first time one of its
+// commands issues.
+func (c *Controller) classify(req *Request, counter *uint64) {
+	if !req.classified {
+		*counter++
+		req.classified = true
+	}
+}
+
+// olderConflictExists reports whether any request older than index i in q
+// targets the same bank but a different row — the starvation condition the
+// row-hit cap protects against.
+func (c *Controller) olderConflictExists(q []*Request, i int) bool {
+	target := q[i].decoded
+	for _, other := range q[:i] {
+		if other.decoded.Bank == target.Bank && other.decoded.Row != target.Row {
+			return true
+		}
+	}
+	return false
+}
+
+// tickRowTimeout closes rows that have been idle past the timeout and have
+// no queued requests (the paper's timeout-based row policy, Table 2 note 6).
+func (c *Controller) tickRowTimeout(now int64) {
+	banks := c.dev.Config().Banks()
+	for b := 0; b < banks; b++ {
+		last, open := c.dev.OpenRowIdleSince(b)
+		if !open || now-last < c.timeoutCycles {
+			continue
+		}
+		_, row := c.dev.BankState(b)
+		if c.rowHasQueuedRequest(b, row) {
+			continue
+		}
+		cmd := dram.Command{Kind: dram.KindPRE, Bank: b}
+		if c.dev.CanIssue(cmd) {
+			c.dev.Issue(cmd)
+			c.resetStreak(b)
+			c.st.TimeoutCloses++
+			return // one command per cycle
+		}
+	}
+}
+
+// rowHasQueuedRequest reports whether any queued request targets (bank,row).
+func (c *Controller) rowHasQueuedRequest(bank, row int) bool {
+	for _, r := range c.readQ {
+		if r.decoded.Bank == bank && r.decoded.Row == row {
+			return true
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.decoded.Bank == bank && r.decoded.Row == row {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) resetStreak(bank int) { c.hitStreak[bank] = 0 }
+
+// removeAt removes index i from q preserving order (FCFS age order).
+func (c *Controller) removeAt(q *[]*Request, i int) {
+	*q = append((*q)[:i], (*q)[i+1:]...)
+}
+
+// Drained reports whether all queues and in-flight completions are empty.
+func (c *Controller) Drained() bool {
+	return len(c.readQ) == 0 && len(c.writeQ) == 0 && c.completions.Len() == 0
+}
+
+// completion is a scheduled read-data callback.
+type completion struct {
+	cycle int64
+	req   *Request
+}
+
+// completionHeap is a min-heap on cycle. It is small (≤ queue capacity), so
+// a hand-rolled heap avoids interface boxing on the hot path.
+type completionHeap struct{ h []completion }
+
+func (c *completionHeap) Len() int         { return len(c.h) }
+func (c *completionHeap) Peek() completion { return c.h[0] }
+
+func (c *completionHeap) Push(ev completion) {
+	c.h = append(c.h, ev)
+	i := len(c.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if c.h[parent].cycle <= c.h[i].cycle {
+			break
+		}
+		c.h[parent], c.h[i] = c.h[i], c.h[parent]
+		i = parent
+	}
+}
+
+func (c *completionHeap) Pop() completion {
+	top := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h = c.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(c.h) && c.h[l].cycle < c.h[smallest].cycle {
+			smallest = l
+		}
+		if r < len(c.h) && c.h[r].cycle < c.h[smallest].cycle {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		c.h[i], c.h[smallest] = c.h[smallest], c.h[i]
+		i = smallest
+	}
+	return top
+}

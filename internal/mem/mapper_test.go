@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clrdram/internal/dram"
+)
+
+func smallCfg() dram.Config {
+	cfg := dram.Standard16Gb()
+	cfg.Rows = 1 << 12
+	cfg.Columns = 128
+	cfg.Timings[dram.ModeDefault] = dram.DDR4BaselineNS().ToCycles(cfg.ClockNS)
+	return cfg
+}
+
+func TestMapperRoundTrip(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeRowBankCol, SchemeRowColBank} {
+		m, err := NewMapper(smallCfg(), scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(raw uint64) bool {
+			addr := (raw % m.Capacity()) &^ 63 // line aligned, in capacity
+			da := m.Decode(addr)
+			if da.Bank < 0 || da.Bank >= 16 || da.Row < 0 || da.Row >= 1<<12 ||
+				da.Column < 0 || da.Column >= 128 {
+				return false
+			}
+			return m.Encode(da) == addr
+		}
+		cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+	}
+}
+
+func TestMapperRejectsNonPowerOfTwo(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Columns = 100
+	if _, err := NewMapper(cfg, SchemeRowBankCol); err == nil {
+		t.Fatal("want error for non-power-of-two columns")
+	}
+}
+
+func TestRowBankColKeepsRowContiguous(t *testing.T) {
+	// Under the default scheme, an aligned 8 KiB block stays in one
+	// (bank,row): page-granularity CLR reconfiguration.
+	m, _ := NewMapper(smallCfg(), SchemeRowBankCol)
+	base := uint64(3) << 13 // an aligned 8 KiB block
+	first := m.Decode(base)
+	for off := uint64(0); off < 8192; off += 64 {
+		da := m.Decode(base + off)
+		if da.Bank != first.Bank || da.Row != first.Row {
+			t.Fatalf("8 KiB block split across banks/rows at offset %d", off)
+		}
+	}
+	if m.RowsPerPage() != 1 {
+		t.Fatalf("RowsPerPage = %d, want 1", m.RowsPerPage())
+	}
+	if m.PagesPerRowSet() != 2 {
+		t.Fatalf("PagesPerRowSet = %d, want 2 (8 KiB row)", m.PagesPerRowSet())
+	}
+}
+
+func TestRowColBankStripesAcrossBanks(t *testing.T) {
+	m, _ := NewMapper(smallCfg(), SchemeRowColBank)
+	// Consecutive lines land in consecutive banks.
+	a := m.Decode(0)
+	b := m.Decode(64)
+	if a.Bank == b.Bank {
+		t.Fatal("interleaved scheme should spread consecutive lines across banks")
+	}
+	if m.RowsPerPage() != 16 {
+		t.Fatalf("RowsPerPage = %d, want 16", m.RowsPerPage())
+	}
+}
+
+func TestMapperCapacity(t *testing.T) {
+	m, _ := NewMapper(smallCfg(), SchemeRowBankCol)
+	want := uint64(1<<12) * 16 * 128 * 64
+	if m.Capacity() != want {
+		t.Fatalf("Capacity = %d, want %d", m.Capacity(), want)
+	}
+}
+
+func TestDecodeWrapsBeyondCapacity(t *testing.T) {
+	m, _ := NewMapper(smallCfg(), SchemeRowBankCol)
+	in := m.Decode(m.Capacity() + 640)
+	wrapped := m.Decode(640)
+	if in != wrapped {
+		t.Fatalf("address beyond capacity should wrap: %+v vs %+v", in, wrapped)
+	}
+}

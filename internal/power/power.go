@@ -1,0 +1,187 @@
+// Package power implements a DRAMPower-style command-trace energy model
+// (Chandrasekar et al.): every DRAM command contributes an energy term
+// computed from datasheet IDD currents and the timing window it occupies,
+// plus background power integrated over rank-active and rank-idle time.
+//
+// The CLR-DRAM hook is that activation and refresh energy windows are
+// mode-dependent: an ACT to a high-performance row uses that mode's shorter
+// tRAS/tRC (less time at IDD0), and a REF of the high-performance stream
+// uses the reduced tRFC — exactly how the paper's energy reductions arise
+// (§8.2-§8.5), alongside shorter execution time.
+//
+// Units: VDD in volts, currents in mA, times in ns ⇒ energies in pJ.
+package power
+
+import (
+	"clrdram/internal/dram"
+)
+
+// IDD holds per-chip DDR4 current parameters (mA) and supply voltage.
+// Defaults approximate a 16 Gb DDR4-2400 datasheet.
+type IDD struct {
+	IDD0  float64 // one-bank ACT-PRE cycling current
+	IDD2N float64 // precharge standby
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5B float64 // burst refresh
+	VDD   float64 // supply voltage (V)
+	Chips int     // chips per rank (x8 → 8 chips)
+}
+
+// Default16Gb returns datasheet-style parameters for the paper's 16 Gb
+// DDR4-2400 configuration.
+func Default16Gb() IDD {
+	return IDD{
+		IDD0:  58,
+		IDD2N: 34,
+		IDD3N: 48,
+		IDD4R: 145,
+		IDD4W: 130,
+		IDD5B: 250,
+		VDD:   1.2,
+		Chips: 8,
+	}
+}
+
+// Config parameterises a Meter.
+type Config struct {
+	IDD     IDD
+	ClockNS float64
+	// Timings per operating mode, in nanoseconds (used for the ACT and REF
+	// energy windows).
+	Timings [dram.NumModes]dram.TimingNS
+	// IOReadPJ/IOWritePJ are per-burst I/O and termination energies added
+	// on top of the core IDD4 terms.
+	IOReadPJ  float64
+	IOWritePJ float64
+}
+
+// DefaultIO fills the I/O energy defaults (approximate DDR4 x64 burst
+// values) if unset.
+func (c Config) DefaultIO() Config {
+	if c.IOReadPJ == 0 {
+		c.IOReadPJ = 250
+	}
+	if c.IOWritePJ == 0 {
+		c.IOWritePJ = 350
+	}
+	return c
+}
+
+// Breakdown is the energy decomposition the paper reports (Figures 12-15):
+// total DRAM energy plus a separate refresh component (Figure 15 bottom).
+type Breakdown struct {
+	ActPre     float64 // activation + precharge pair energy (pJ)
+	ReadWrite  float64 // column access core energy (pJ)
+	IO         float64 // I/O and termination energy (pJ)
+	Refresh    float64 // refresh command energy (pJ)
+	Background float64 // standby energy (pJ)
+}
+
+// Total returns total energy in pJ.
+func (b Breakdown) Total() float64 {
+	return b.ActPre + b.ReadWrite + b.IO + b.Refresh + b.Background
+}
+
+// Meter accumulates energy from a device's command stream. It implements
+// dram.CommandListener; register it as the device Config.Listener.
+type Meter struct {
+	cfg Config
+
+	actPre    float64
+	readWrite float64
+	io        float64
+	refresh   float64
+
+	openBanks    int
+	lastEdge     int64 // cycle of the last open-bank-count change
+	activeCycles int64 // cycles with ≥1 bank open
+}
+
+// NewMeter builds a meter.
+func NewMeter(cfg Config) *Meter {
+	return &Meter{cfg: cfg.DefaultIO()}
+}
+
+// ratePJ returns VDD·I·chips: multiply by ns to get pJ.
+func (m *Meter) ratePJ(currentMA float64) float64 {
+	return m.cfg.IDD.VDD * currentMA * float64(m.cfg.IDD.Chips)
+}
+
+// OnCommand implements dram.CommandListener.
+func (m *Meter) OnCommand(cmd dram.Command, cycle int64) {
+	t := m.cfg.Timings[cmd.Mode]
+	switch cmd.Kind {
+	case dram.KindACT:
+		// DRAMPower ACT+PRE pair energy: the energy of one row cycle above
+		// the standby floor, using the activated row's mode timings.
+		tRC := t.RAS + t.RP
+		e := m.ratePJ(m.cfg.IDD.IDD0)*tRC -
+			m.ratePJ(m.cfg.IDD.IDD3N)*t.RAS -
+			m.ratePJ(m.cfg.IDD.IDD2N)*t.RP
+		if e < 0 {
+			e = 0
+		}
+		m.actPre += e
+		m.edge(cycle)
+		m.openBanks++
+	case dram.KindPRE:
+		m.edge(cycle)
+		if m.openBanks > 0 {
+			m.openBanks--
+		}
+	case dram.KindRD:
+		burstNS := 4 * m.cfg.ClockNS // BL8 on a DDR bus = 4 clock cycles
+		m.readWrite += m.ratePJ(m.cfg.IDD.IDD4R-m.cfg.IDD.IDD3N) * burstNS
+		m.io += m.cfg.IOReadPJ
+	case dram.KindWR:
+		burstNS := 4 * m.cfg.ClockNS
+		m.readWrite += m.ratePJ(m.cfg.IDD.IDD4W-m.cfg.IDD.IDD3N) * burstNS
+		m.io += m.cfg.IOWritePJ
+	case dram.KindREF:
+		m.refresh += m.ratePJ(m.cfg.IDD.IDD5B-m.cfg.IDD.IDD2N) * t.RFC
+	}
+}
+
+// edge accumulates active time up to the given cycle before an open-bank
+// count change.
+func (m *Meter) edge(cycle int64) {
+	if m.openBanks > 0 {
+		m.activeCycles += cycle - m.lastEdge
+	}
+	m.lastEdge = cycle
+}
+
+// Energy returns the breakdown for a run that ended at endCycle (device
+// cycles). Background energy is IDD3N over rank-active time and IDD2N over
+// idle time.
+func (m *Meter) Energy(endCycle int64) Breakdown {
+	active := m.activeCycles
+	if m.openBanks > 0 {
+		active += endCycle - m.lastEdge
+	}
+	idle := endCycle - active
+	if idle < 0 {
+		idle = 0
+	}
+	activeNS := float64(active) * m.cfg.ClockNS
+	idleNS := float64(idle) * m.cfg.ClockNS
+	return Breakdown{
+		ActPre:    m.actPre,
+		ReadWrite: m.readWrite,
+		IO:        m.io,
+		Refresh:   m.refresh,
+		Background: m.ratePJ(m.cfg.IDD.IDD3N)*activeNS +
+			m.ratePJ(m.cfg.IDD.IDD2N)*idleNS,
+	}
+}
+
+// AveragePowerMW returns average power in milliwatts over endCycle cycles.
+func (m *Meter) AveragePowerMW(endCycle int64) float64 {
+	if endCycle <= 0 {
+		return 0
+	}
+	elapsedNS := float64(endCycle) * m.cfg.ClockNS
+	return m.Energy(endCycle).Total() / elapsedNS // pJ/ns = mW
+}

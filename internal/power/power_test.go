@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"clrdram/internal/dram"
+)
+
+func meterCfg() Config {
+	return Config{
+		IDD:     Default16Gb(),
+		ClockNS: 1.0 / 1.2,
+		Timings: [dram.NumModes]dram.TimingNS{
+			dram.ModeDefault:  dram.DDR4BaselineNS(),
+			dram.ModeMaxCap:   dram.MaxCapNS(),
+			dram.ModeHighPerf: dram.HighPerfNS(true),
+		},
+	}
+}
+
+func TestActEnergyModeDependent(t *testing.T) {
+	base := NewMeter(meterCfg())
+	hp := NewMeter(meterCfg())
+	base.OnCommand(dram.Command{Kind: dram.KindACT, Mode: dram.ModeDefault}, 0)
+	hp.OnCommand(dram.Command{Kind: dram.KindACT, Mode: dram.ModeHighPerf}, 0)
+	eb := base.Energy(0).ActPre
+	eh := hp.Energy(0).ActPre
+	if eb <= 0 || eh <= 0 {
+		t.Fatalf("ACT energies must be positive: base %v, hp %v", eb, eh)
+	}
+	if eh >= eb {
+		t.Fatalf("high-performance ACT energy (%v pJ) should be below baseline (%v pJ)", eh, eb)
+	}
+}
+
+func TestRefreshEnergyScalesWithTRFC(t *testing.T) {
+	m := NewMeter(meterCfg())
+	m.OnCommand(dram.Command{Kind: dram.KindREF, Mode: dram.ModeDefault}, 0)
+	e1 := m.Energy(0).Refresh
+	m.OnCommand(dram.Command{Kind: dram.KindREF, Mode: dram.ModeHighPerf}, 0)
+	e2 := m.Energy(0).Refresh - e1
+	// HP tRFC is ~44.7% of baseline (paper: mean of tRAS/tRP reductions).
+	ratio := e2 / e1
+	want := dram.HighPerfNS(true).RFC / dram.DDR4BaselineNS().RFC
+	if math.Abs(ratio-want) > 0.01 {
+		t.Fatalf("refresh energy ratio = %.3f, want %.3f", ratio, want)
+	}
+}
+
+func TestBackgroundSplitsActiveIdle(t *testing.T) {
+	cfg := meterCfg()
+	m := NewMeter(cfg)
+	// Open a bank for 600 cycles out of 1000.
+	m.OnCommand(dram.Command{Kind: dram.KindACT, Bank: 0}, 100)
+	m.OnCommand(dram.Command{Kind: dram.KindPRE, Bank: 0}, 700)
+	b := m.Energy(1000)
+	rate := cfg.IDD.VDD * float64(cfg.IDD.Chips)
+	wantActive := rate * cfg.IDD.IDD3N * 600 * cfg.ClockNS
+	wantIdle := rate * cfg.IDD.IDD2N * 400 * cfg.ClockNS
+	if math.Abs(b.Background-(wantActive+wantIdle)) > 1e-6 {
+		t.Fatalf("background = %v, want %v", b.Background, wantActive+wantIdle)
+	}
+}
+
+func TestOpenBankAtEndCounted(t *testing.T) {
+	m := NewMeter(meterCfg())
+	m.OnCommand(dram.Command{Kind: dram.KindACT, Bank: 0}, 0)
+	b1 := m.Energy(500)
+	b2 := m.Energy(1000)
+	if b2.Background <= b1.Background {
+		t.Fatal("background energy must grow with elapsed time while a bank is open")
+	}
+}
+
+func TestReadWriteEnergyAndIO(t *testing.T) {
+	m := NewMeter(meterCfg())
+	m.OnCommand(dram.Command{Kind: dram.KindRD}, 0)
+	b := m.Energy(0)
+	if b.ReadWrite <= 0 || b.IO != 250 {
+		t.Fatalf("RD energy %v / IO %v unexpected", b.ReadWrite, b.IO)
+	}
+	m.OnCommand(dram.Command{Kind: dram.KindWR}, 0)
+	b2 := m.Energy(0)
+	if b2.IO != 250+350 {
+		t.Fatalf("IO after WR = %v, want 600", b2.IO)
+	}
+	if b2.ReadWrite <= b.ReadWrite {
+		t.Fatal("WR must add core energy")
+	}
+}
+
+func TestTotalAndPower(t *testing.T) {
+	m := NewMeter(meterCfg())
+	m.OnCommand(dram.Command{Kind: dram.KindACT}, 0)
+	m.OnCommand(dram.Command{Kind: dram.KindRD}, 20)
+	m.OnCommand(dram.Command{Kind: dram.KindPRE}, 60)
+	b := m.Energy(1200) // 1 µs at 1.2 GHz
+	sum := b.ActPre + b.ReadWrite + b.IO + b.Refresh + b.Background
+	if math.Abs(b.Total()-sum) > 1e-9 {
+		t.Fatal("Total() must equal the sum of components")
+	}
+	p := m.AveragePowerMW(1200)
+	if p <= 0 {
+		t.Fatalf("power = %v, want positive", p)
+	}
+	// Idle DDR4 rank floor: VDD·IDD2N·chips ≈ 326 mW; with one row cycle
+	// the average must exceed the floor but stay within an order of
+	// magnitude.
+	floor := 1.2 * 34 * 8
+	if p < floor || p > floor*10 {
+		t.Fatalf("power %v mW implausible (floor %v)", p, floor)
+	}
+}
+
+func TestZeroElapsedPower(t *testing.T) {
+	m := NewMeter(meterCfg())
+	if m.AveragePowerMW(0) != 0 {
+		t.Fatal("zero elapsed time must give zero power, not NaN")
+	}
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"clrdram/internal/core"
+	"clrdram/internal/workload"
+)
+
+// ComparisonRow is one design's aggregate result over a workload set,
+// normalized to the unmodified DDR4 baseline — the quantitative version of
+// the paper's §9 related-work discussion.
+type ComparisonRow struct {
+	Name           string
+	Design         core.Design
+	NormIPC        float64 // geometric mean over workloads
+	NormEnergy     float64
+	CapacityFactor float64
+	Dynamic        bool
+}
+
+// RunComparison runs every workload under the DDR4 baseline, CLR-DRAM (at
+// the given HP fraction) and the three §9 alternatives, and returns
+// normalized aggregates. The capacity column is the other half of the
+// story: the static designs pay their capacity cost always, CLR-DRAM only
+// when (and where) the system chooses to.
+func RunComparison(profiles []workload.Profile, clrFraction float64, opts Options) ([]ComparisonRow, error) {
+	alts, err := core.DefaultAlternatives(clrFraction)
+	if err != nil {
+		return nil, err
+	}
+	// Baselines per profile.
+	baseIPC := make([]float64, len(profiles))
+	baseEnergy := make([]float64, len(profiles))
+	for i, p := range profiles {
+		res, err := RunSingle(p, core.Baseline(), opts)
+		if err != nil {
+			return nil, err
+		}
+		baseIPC[i] = res.PerCore[0].IPC()
+		baseEnergy[i] = res.Energy.Total()
+	}
+	var out []ComparisonRow
+	for _, alt := range alts {
+		cfg := alt.Config()
+		var ipc, energy []float64
+		for i, p := range profiles {
+			res, err := RunSingle(p, cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			ipc = append(ipc, res.PerCore[0].IPC()/baseIPC[i])
+			energy = append(energy, res.Energy.Total()/baseEnergy[i])
+		}
+		out = append(out, ComparisonRow{
+			Name:           alt.Name,
+			Design:         alt.Design,
+			NormIPC:        safeGeo(ipc),
+			NormEnergy:     safeGeo(energy),
+			CapacityFactor: alt.CapacityFactor,
+			Dynamic:        alt.Dynamic,
+		})
+	}
+	return out, nil
+}

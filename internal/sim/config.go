@@ -1,0 +1,111 @@
+// Package sim wires the full evaluated system together — trace-driven cores
+// (internal/cpu), a shared LLC (internal/cache), the memory controller
+// (internal/mem) over a CLR-DRAM or baseline DDR4 device (internal/dram,
+// internal/core), and the energy meter (internal/power) — and provides the
+// experiment drivers that regenerate the paper's system-level results
+// (Figures 12-15).
+//
+// The simulation methodology follows §8.1: profiling-based hot-page
+// assignment, cache warmup by fast-forwarding, per-core instruction targets,
+// IPC for single-core runs and weighted speedup (against alone-runs on the
+// baseline) for multi-core runs, with all averages reported as geometric
+// means by the experiment layer.
+package sim
+
+import (
+	"clrdram/internal/cache"
+	"clrdram/internal/cpu"
+	"clrdram/internal/dram"
+	"clrdram/internal/mem"
+	"clrdram/internal/power"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// TargetInstructions per core (the paper uses 200 M; scale down for
+	// fast experimentation — results are normalized so shapes survive).
+	TargetInstructions uint64
+	// WarmupRecords are trace records streamed through the LLC untimed
+	// before measurement (the paper fast-forwards 100 M instructions).
+	WarmupRecords int
+	// ProfileRecords are trace records used to rank pages by access count
+	// for the hot-page mapping (§8.1).
+	ProfileRecords int
+	// Seed drives every generator in the run.
+	Seed int64
+	// CPUClockGHz is the core clock (Table 2: 4 GHz).
+	CPUClockGHz float64
+	// Channels is the number of independent memory channels, each a full
+	// single-rank device with its own controller (Table 2 uses 1; more is
+	// this library's extension of the paper's configuration).
+	Channels int
+	// MaxCPUCycles bounds a run defensively; 0 derives a generous bound
+	// from TargetInstructions.
+	MaxCPUCycles int64
+
+	CPU    cpu.Config
+	LLC    cache.Config
+	Mem    mem.Config
+	Device dram.Config
+	IDD    power.IDD
+}
+
+// DefaultOptions returns the paper's Table 2 system scaled to a fast default
+// instruction budget.
+func DefaultOptions() Options {
+	return Options{
+		TargetInstructions: 500_000,
+		WarmupRecords:      20_000,
+		ProfileRecords:     50_000,
+		Seed:               1,
+		CPUClockGHz:        4.0,
+		CPU:                cpu.Config{}.Defaults(),
+		LLC:                cache.Config{}.Defaults(),
+		Mem:                mem.Config{},
+		Device:             dram.Standard16Gb(),
+		IDD:                power.Default16Gb(),
+	}
+}
+
+// withDefaults normalises zero fields.
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.TargetInstructions == 0 {
+		o.TargetInstructions = d.TargetInstructions
+	}
+	if o.WarmupRecords == 0 {
+		o.WarmupRecords = d.WarmupRecords
+	}
+	if o.ProfileRecords == 0 {
+		o.ProfileRecords = d.ProfileRecords
+	}
+	if o.CPUClockGHz == 0 {
+		o.CPUClockGHz = d.CPUClockGHz
+	}
+	if o.Channels == 0 {
+		o.Channels = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Device.BankGroups == 0 {
+		o.Device = d.Device
+	}
+	if o.IDD.VDD == 0 {
+		o.IDD = d.IDD
+	}
+	o.CPU = o.CPU.Defaults()
+	o.LLC = o.LLC.Defaults()
+	if o.MaxCPUCycles == 0 {
+		// Worst plausible CPI ≈ 400 for a pathological all-miss trace.
+		// Guard against overflow for phase-driven systems that set an
+		// effectively-unbounded instruction target and pace via RunFor.
+		const maxBound = int64(1) << 62
+		if o.TargetInstructions > uint64(maxBound/400) {
+			o.MaxCPUCycles = maxBound
+		} else {
+			o.MaxCPUCycles = int64(o.TargetInstructions) * 400
+		}
+	}
+	return o
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"clrdram/internal/core"
+	"clrdram/internal/stats"
+	"clrdram/internal/workload"
+)
+
+// HPFractions are the paper's page-mapping sweep points (Figures 12-14).
+var HPFractions = []float64{0, 0.25, 0.50, 0.75, 1.00}
+
+// REFWSettings are the paper's refresh-interval sweep points (Figure 15).
+var REFWSettings = []float64{64, 114, 124, 184, 194}
+
+// configFor builds the CLR configuration for an HP fraction. Note the
+// paper's "0%" configuration is CLR-DRAM hardware with every row operating
+// in max-capacity mode — distinct from the unmodified DDR4 baseline that all
+// results are normalized against (§8.2 observation 5 depends on this).
+func configFor(frac, refwMs float64) core.Config {
+	c := core.CLR(frac)
+	c.REFWms = refwMs
+	return c
+}
+
+// SingleRow is one workload's sweep across HP fractions: everything is
+// normalized against the DDR4 baseline (Figure 12's y-axes).
+type SingleRow struct {
+	Name         string
+	MemIntensive bool
+	Synthetic    bool
+	Pattern      workload.Pattern
+	BaselineIPC  float64
+	// Indexed like HPFractions.
+	NormIPC    []float64
+	NormEnergy []float64
+	NormPower  []float64
+	MPKI       float64
+}
+
+// Fig12Result aggregates the single-core sweep.
+type Fig12Result struct {
+	Rows []SingleRow
+	// Geometric means indexed like HPFractions.
+	GMeanIPC, GMeanEnergy, GMeanPower    []float64
+	RandomIPC, RandomEnergy, RandomPower []float64
+	StreamIPC, StreamEnergy, StreamPower []float64
+	IntensiveIPC                         []float64
+}
+
+// RunFig12 reproduces Figure 12 (and the single-core half of Figure 14):
+// normalized IPC, DRAM energy and DRAM power for every workload at each
+// high-performance row fraction.
+func RunFig12(profiles []workload.Profile, opts Options) (Fig12Result, error) {
+	var out Fig12Result
+	n := len(HPFractions)
+	for _, p := range profiles {
+		base, err := RunSingle(p, core.Baseline(), opts)
+		if err != nil {
+			return out, err
+		}
+		row := SingleRow{
+			Name:         p.Name,
+			MemIntensive: p.MemIntensive,
+			Synthetic:    p.Synthetic,
+			Pattern:      p.Pattern,
+			BaselineIPC:  base.PerCore[0].IPC(),
+			MPKI:         base.PerCore[0].MPKI(),
+			NormIPC:      make([]float64, n),
+			NormEnergy:   make([]float64, n),
+			NormPower:    make([]float64, n),
+		}
+		for i, frac := range HPFractions {
+			res, err := RunSingle(p, configFor(frac, 64), opts)
+			if err != nil {
+				return out, err
+			}
+			row.NormIPC[i] = res.PerCore[0].IPC() / row.BaselineIPC
+			row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
+			row.NormPower[i] = res.PowerMW / base.PowerMW
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	out.aggregate()
+	return out, nil
+}
+
+// aggregate fills the geometric-mean series.
+func (f *Fig12Result) aggregate() {
+	n := len(HPFractions)
+	f.GMeanIPC = make([]float64, n)
+	f.GMeanEnergy = make([]float64, n)
+	f.GMeanPower = make([]float64, n)
+	f.RandomIPC = make([]float64, n)
+	f.RandomEnergy = make([]float64, n)
+	f.RandomPower = make([]float64, n)
+	f.StreamIPC = make([]float64, n)
+	f.StreamEnergy = make([]float64, n)
+	f.StreamPower = make([]float64, n)
+	f.IntensiveIPC = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var all, rnd, str, intens [3][]float64
+		for _, r := range f.Rows {
+			vals := [3]float64{r.NormIPC[i], r.NormEnergy[i], r.NormPower[i]}
+			for k := 0; k < 3; k++ {
+				if !r.Synthetic {
+					all[k] = append(all[k], vals[k])
+				}
+				if r.Synthetic && r.Pattern == workload.PatternRandom {
+					rnd[k] = append(rnd[k], vals[k])
+				}
+				if r.Synthetic && r.Pattern == workload.PatternStream {
+					str[k] = append(str[k], vals[k])
+				}
+			}
+			if r.MemIntensive && !r.Synthetic {
+				intens[0] = append(intens[0], r.NormIPC[i])
+			}
+		}
+		f.GMeanIPC[i] = safeGeo(all[0])
+		f.GMeanEnergy[i] = safeGeo(all[1])
+		f.GMeanPower[i] = safeGeo(all[2])
+		f.RandomIPC[i] = safeGeo(rnd[0])
+		f.RandomEnergy[i] = safeGeo(rnd[1])
+		f.RandomPower[i] = safeGeo(rnd[2])
+		f.StreamIPC[i] = safeGeo(str[0])
+		f.StreamEnergy[i] = safeGeo(str[1])
+		f.StreamPower[i] = safeGeo(str[2])
+		f.IntensiveIPC[i] = safeGeo(intens[0])
+	}
+}
+
+func safeGeo(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return stats.GeoMean(xs)
+}
+
+// MixRow is one multiprogrammed mix's sweep.
+type MixRow struct {
+	Name  string
+	Group string
+	// Indexed like HPFractions.
+	NormWS     []float64
+	NormEnergy []float64
+	NormPower  []float64
+}
+
+// Fig13Result aggregates the multi-core sweep (Figures 13 and 14b).
+type Fig13Result struct {
+	Rows []MixRow
+	// Per-group and overall geometric means, indexed like HPFractions.
+	GroupWS     map[string][]float64
+	GroupEnergy map[string][]float64
+	GMeanWS     []float64
+	GMeanEnergy []float64
+	GMeanPower  []float64
+}
+
+// RunFig13 reproduces Figure 13: weighted speedup and DRAM energy of
+// four-core mixes in the L/M/H intensity groups, normalized to baseline.
+func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, error) {
+	out := Fig13Result{
+		GroupWS:     map[string][]float64{},
+		GroupEnergy: map[string][]float64{},
+	}
+	var allMixes []workload.Mix
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	for _, g := range groupNames {
+		allMixes = append(allMixes, groups[g]...)
+	}
+	alone, err := AloneIPCs(allMixes, opts)
+	if err != nil {
+		return out, err
+	}
+	n := len(HPFractions)
+	for _, g := range groupNames {
+		for _, m := range groups[g] {
+			base, err := RunMix(m, core.Baseline(), opts)
+			if err != nil {
+				return out, err
+			}
+			baseWS := WeightedSpeedup(base, m, alone)
+			row := MixRow{
+				Name: m.Name, Group: g,
+				NormWS:     make([]float64, n),
+				NormEnergy: make([]float64, n),
+				NormPower:  make([]float64, n),
+			}
+			for i, frac := range HPFractions {
+				res, err := RunMix(m, configFor(frac, 64), opts)
+				if err != nil {
+					return out, err
+				}
+				row.NormWS[i] = WeightedSpeedup(res, m, alone) / baseWS
+				row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
+				row.NormPower[i] = res.PowerMW / base.PowerMW
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	// Aggregate.
+	out.GMeanWS = make([]float64, n)
+	out.GMeanEnergy = make([]float64, n)
+	out.GMeanPower = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var ws, en, pw []float64
+		byGroupWS := map[string][]float64{}
+		byGroupEn := map[string][]float64{}
+		for _, r := range out.Rows {
+			ws = append(ws, r.NormWS[i])
+			en = append(en, r.NormEnergy[i])
+			pw = append(pw, r.NormPower[i])
+			byGroupWS[r.Group] = append(byGroupWS[r.Group], r.NormWS[i])
+			byGroupEn[r.Group] = append(byGroupEn[r.Group], r.NormEnergy[i])
+		}
+		out.GMeanWS[i] = safeGeo(ws)
+		out.GMeanEnergy[i] = safeGeo(en)
+		out.GMeanPower[i] = safeGeo(pw)
+		for g, v := range byGroupWS {
+			if out.GroupWS[g] == nil {
+				out.GroupWS[g] = make([]float64, n)
+				out.GroupEnergy[g] = make([]float64, n)
+			}
+			out.GroupWS[g][i] = safeGeo(v)
+			out.GroupEnergy[g][i] = safeGeo(byGroupEn[g])
+		}
+	}
+	return out, nil
+}
+
+// Fig15Row is one refresh-window setting's aggregate (Figure 15): IPC (or
+// weighted speedup), total DRAM energy and refresh energy, all normalized to
+// the DDR4 baseline, per HP fraction.
+type Fig15Row struct {
+	REFWms      float64
+	NormPerf    []float64 // indexed like fractions passed to RunFig15
+	NormEnergy  []float64
+	NormRefresh []float64
+}
+
+// RunFig15 reproduces Figure 15 (single-core variant): for each tREFW
+// setting and each HP fraction (excluding 0%, which cannot extend tREFW),
+// the normalized performance, DRAM energy, and refresh energy over a set of
+// workloads (geometric means; refresh energy uses the arithmetic sum ratio
+// because per-workload refresh energy can be ~0 for short runs).
+func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([]Fig15Row, error) {
+	// Baselines per profile.
+	type baseRes struct {
+		ipc     float64
+		energy  float64
+		refresh float64
+	}
+	bases := make([]baseRes, len(profiles))
+	for i, p := range profiles {
+		b, err := RunSingle(p, core.Baseline(), opts)
+		if err != nil {
+			return nil, err
+		}
+		bases[i] = baseRes{b.PerCore[0].IPC(), b.Energy.Total(), b.Energy.Refresh}
+	}
+	var out []Fig15Row
+	for _, refw := range REFWSettings {
+		row := Fig15Row{
+			REFWms:      refw,
+			NormPerf:    make([]float64, len(fractions)),
+			NormEnergy:  make([]float64, len(fractions)),
+			NormRefresh: make([]float64, len(fractions)),
+		}
+		for fi, frac := range fractions {
+			var perf, energy []float64
+			var refSum, refBaseSum float64
+			for i, p := range profiles {
+				res, err := RunSingle(p, configFor(frac, refw), opts)
+				if err != nil {
+					return nil, err
+				}
+				perf = append(perf, res.PerCore[0].IPC()/bases[i].ipc)
+				energy = append(energy, res.Energy.Total()/bases[i].energy)
+				refSum += res.Energy.Refresh
+				refBaseSum += bases[i].refresh
+			}
+			row.NormPerf[fi] = safeGeo(perf)
+			row.NormEnergy[fi] = safeGeo(energy)
+			if refBaseSum > 0 {
+				row.NormRefresh[fi] = refSum / refBaseSum
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table1 returns the timing-parameter table (paper Table 1) from the given
+// timing source, with reduction percentages.
+func Table1(tab *core.TimingTable) string {
+	b, m, he, hn := tab.Baseline, tab.MaxCap, tab.HighPerfET, tab.HighPerfNoET
+	s := fmt.Sprintf("Timing    Baseline  Max-Cap  HP(w/o E.T.)  HP(w/ E.T.)  Reduction\n")
+	line := func(name string, bv, mv, hnv, hev float64) string {
+		return fmt.Sprintf("%-8s  %7.1f  %7.1f  %12.1f  %11.1f  %8.1f%%\n",
+			name, bv, mv, hnv, hev, (1-hev/bv)*100)
+	}
+	s += line("tRCD(ns)", b.RCD, m.RCD, hn.RCD, he.RCD)
+	s += line("tRAS(ns)", b.RAS, m.RAS, hn.RAS, he.RAS)
+	s += line("tRP(ns)", b.RP, m.RP, hn.RP, he.RP)
+	s += line("tWR(ns)", b.WR, m.WR, hn.WR, he.WR)
+	return s
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file provides machine-readable (CSV) exports of the experiment
+// results so the figures can be re-plotted outside Go. One file per paper
+// figure, one row per (workload|mix|setting) × series.
+
+// WriteFig12CSV writes the single-core sweep: one row per workload with
+// normalized IPC/energy/power per HP fraction.
+func WriteFig12CSV(w io.Writer, res Fig12Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "mem_intensive", "synthetic", "pattern", "mpki", "baseline_ipc", "series"}
+	for _, f := range HPFractions {
+		header = append(header, fmt.Sprintf("hp_%.0f", f*100))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := func(r SingleRow, series string, vals []float64) error {
+		rec := []string{
+			r.Name,
+			strconv.FormatBool(r.MemIntensive),
+			strconv.FormatBool(r.Synthetic),
+			r.Pattern.String(),
+			fmtF(r.MPKI),
+			fmtF(r.BaselineIPC),
+			series,
+		}
+		for _, v := range vals {
+			rec = append(rec, fmtF(v))
+		}
+		return cw.Write(rec)
+	}
+	for _, r := range res.Rows {
+		if err := row(r, "norm_ipc", r.NormIPC); err != nil {
+			return err
+		}
+		if err := row(r, "norm_energy", r.NormEnergy); err != nil {
+			return err
+		}
+		if err := row(r, "norm_power", r.NormPower); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig13CSV writes the multi-core sweep: one row per mix and series,
+// plus per-group and overall geometric means.
+func WriteFig13CSV(w io.Writer, res Fig13Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"mix", "group", "series"}
+	for _, f := range HPFractions {
+		header = append(header, fmt.Sprintf("hp_%.0f", f*100))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	emit := func(name, group, series string, vals []float64) error {
+		rec := []string{name, group, series}
+		for _, v := range vals {
+			rec = append(rec, fmtF(v))
+		}
+		return cw.Write(rec)
+	}
+	for _, r := range res.Rows {
+		if err := emit(r.Name, r.Group, "norm_ws", r.NormWS); err != nil {
+			return err
+		}
+		if err := emit(r.Name, r.Group, "norm_energy", r.NormEnergy); err != nil {
+			return err
+		}
+	}
+	var groups []string
+	for g := range res.GroupWS {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		if err := emit("GMEAN", g, "norm_ws", res.GroupWS[g]); err != nil {
+			return err
+		}
+		if err := emit("GMEAN", g, "norm_energy", res.GroupEnergy[g]); err != nil {
+			return err
+		}
+	}
+	if err := emit("GMEAN", "ALL", "norm_ws", res.GMeanWS); err != nil {
+		return err
+	}
+	if err := emit("GMEAN", "ALL", "norm_energy", res.GMeanEnergy); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig15CSV writes the refresh-interval sensitivity sweep.
+func WriteFig15CSV(w io.Writer, rows []Fig15Row, fractions []float64) error {
+	cw := csv.NewWriter(w)
+	header := []string{"trefw_ms", "series"}
+	for _, f := range fractions {
+		header = append(header, fmt.Sprintf("hp_%.0f", f*100))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, s := range []struct {
+			name string
+			vals []float64
+		}{
+			{"norm_perf", r.NormPerf},
+			{"norm_energy", r.NormEnergy},
+			{"norm_refresh_energy", r.NormRefresh},
+		} {
+			rec := []string{fmtF(r.REFWms), s.name}
+			for _, v := range s.vals {
+				rec = append(rec, fmtF(v))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

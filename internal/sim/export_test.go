@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"clrdram/internal/workload"
+)
+
+func TestWriteFig12CSV(t *testing.T) {
+	res := Fig12Result{Rows: []SingleRow{{
+		Name:         "w1",
+		MemIntensive: true,
+		Pattern:      workload.PatternRandom,
+		MPKI:         12.5,
+		BaselineIPC:  0.5,
+		NormIPC:      []float64{1, 1.1, 1.2, 1.3, 1.4},
+		NormEnergy:   []float64{0.95, 0.9, 0.85, 0.8, 0.75},
+		NormPower:    []float64{1, 1, 1, 1, 1},
+	}}}
+	var buf bytes.Buffer
+	if err := WriteFig12CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 series
+		t.Fatalf("got %d rows, want 4", len(records))
+	}
+	if records[0][0] != "workload" || records[0][len(records[0])-1] != "hp_100" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][6] != "norm_ipc" || records[1][len(records[1])-1] != "1.4" {
+		t.Fatalf("ipc row = %v", records[1])
+	}
+}
+
+func TestWriteFig13CSV(t *testing.T) {
+	res := Fig13Result{
+		Rows: []MixRow{{
+			Name: "H00", Group: "H",
+			NormWS:     []float64{1, 1.1, 1.2, 1.3, 1.4},
+			NormEnergy: []float64{0.9, 0.8, 0.7, 0.6, 0.5},
+			NormPower:  []float64{1, 1, 1, 1, 1},
+		}},
+		GroupWS:     map[string][]float64{"H": {1, 1.1, 1.2, 1.3, 1.4}},
+		GroupEnergy: map[string][]float64{"H": {0.9, 0.8, 0.7, 0.6, 0.5}},
+		GMeanWS:     []float64{1, 1.1, 1.2, 1.3, 1.4},
+		GMeanEnergy: []float64{0.9, 0.8, 0.7, 0.6, 0.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig13CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"H00,H,norm_ws", "GMEAN,H,norm_ws", "GMEAN,ALL,norm_energy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFig15CSV(t *testing.T) {
+	rows := []Fig15Row{{
+		REFWms:      64,
+		NormPerf:    []float64{1.2},
+		NormEnergy:  []float64{0.7},
+		NormRefresh: []float64{0.3},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig15CSV(&buf, rows, []float64{1.0}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "64,norm_refresh_energy,0.3") {
+		t.Fatalf("CSV content wrong:\n%s", out)
+	}
+	// 1 header + 3 series rows.
+	if n := strings.Count(strings.TrimSpace(out), "\n"); n != 3 {
+		t.Fatalf("got %d newlines, want 3:\n%s", n, out)
+	}
+}

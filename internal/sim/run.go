@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"clrdram/internal/core"
+	"clrdram/internal/stats"
+	"clrdram/internal/workload"
+)
+
+// RunSingle simulates one workload on one core under the given CLR-DRAM
+// configuration.
+func RunSingle(p workload.Profile, clr core.Config, opts Options) (Result, error) {
+	s, err := NewSystem([]workload.Profile{p}, clr, opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %s under %s: %w", p.Name, clr, err)
+	}
+	return s.Run(), nil
+}
+
+// RunMix simulates a four-core multiprogrammed mix.
+func RunMix(m workload.Mix, clr core.Config, opts Options) (Result, error) {
+	s, err := NewSystem(m.Profiles[:], clr, opts)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: mix %s under %s: %w", m.Name, clr, err)
+	}
+	return s.Run(), nil
+}
+
+// AloneIPCs computes the alone-run IPC of every profile in the mixes on the
+// baseline configuration (the denominator of weighted speedup). Results are
+// memoised by profile name.
+func AloneIPCs(mixes []workload.Mix, opts Options) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, m := range mixes {
+		for _, p := range m.Profiles {
+			if _, ok := out[p.Name]; ok {
+				continue
+			}
+			res, err := RunSingle(p, core.Baseline(), opts)
+			if err != nil {
+				return nil, err
+			}
+			ipc := res.PerCore[0].IPC()
+			if ipc <= 0 {
+				return nil, fmt.Errorf("sim: alone IPC of %s is %v", p.Name, ipc)
+			}
+			out[p.Name] = ipc
+		}
+	}
+	return out, nil
+}
+
+// WeightedSpeedup computes the weighted speedup of a multi-core result
+// against the memoised alone IPCs.
+func WeightedSpeedup(res Result, m workload.Mix, alone map[string]float64) float64 {
+	shared := res.IPC()
+	ref := make([]float64, len(shared))
+	for i := range shared {
+		ref[i] = alone[m.Profiles[i].Name]
+	}
+	return stats.WeightedSpeedup(shared, ref)
+}
+
+// MeasureMPKI runs a profile briefly on the baseline and returns its LLC
+// misses per kilo-instruction — used to validate the MPKI > 2.0 intensity
+// classification of the workload table (§8.1).
+func MeasureMPKI(p workload.Profile, opts Options) (float64, error) {
+	res, err := RunSingle(p, core.Baseline(), opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerCore[0].MPKI(), nil
+}

@@ -1,0 +1,422 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"clrdram/internal/cache"
+	"clrdram/internal/core"
+	"clrdram/internal/cpu"
+	"clrdram/internal/dram"
+	"clrdram/internal/mem"
+	"clrdram/internal/power"
+	"clrdram/internal/stats"
+	"clrdram/internal/trace"
+	"clrdram/internal/workload"
+)
+
+// Result captures everything the experiment layer needs from one run.
+type Result struct {
+	CLR        core.Config
+	PerCore    []stats.CoreStats
+	CPUCycles  int64 // cycles until the last core reached its target
+	DRAMCycles int64
+	Energy     power.Breakdown
+	PowerMW    float64
+	Mem        mem.Stats
+	LLC        cache.Stats
+	TimedOut   bool
+}
+
+// IPC returns per-core IPCs.
+func (r Result) IPC() []float64 {
+	out := make([]float64, len(r.PerCore))
+	for i, c := range r.PerCore {
+		out[i] = c.IPC()
+	}
+	return out
+}
+
+// System is one assembled simulation instance.
+type System struct {
+	opts    Options
+	clr     core.Config
+	cores   []*cpu.Core
+	readers []trace.Reader
+	llc     *cache.Cache
+	ctrls   []*mem.Controller // one per channel
+	meters  []*power.Meter    // one per channel
+	mapper  *core.PageMapper
+	bases   []uint64 // per-core base addresses in the global space
+
+	// Dynamic-reconfiguration state (nil/zero for baseline systems).
+	threshold  *core.DynamicThreshold
+	devCfg     dram.Config
+	rankings   [][]int
+	totalPages int
+
+	cpuCycle   int64
+	dramAcc    float64
+	dramPerCPU float64
+
+	hits      hitHeap
+	pendingWB []uint64
+}
+
+// NewSystem builds a system running the given per-core workload profiles
+// under the given CLR-DRAM configuration. All profiles use Options.Seed
+// (offset per core) so runs are reproducible.
+func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("sim: no workloads")
+	}
+	if err := clr.Validate(); err != nil {
+		return nil, err
+	}
+
+	devCfg, refresh, err := clr.Build(opts.Device)
+	if err != nil {
+		return nil, err
+	}
+	// Replace the static threshold with a mutable one so the system can be
+	// reconfigured at run time (Reconfigure); the device consults it at
+	// every ACT.
+	var threshold *core.DynamicThreshold
+	if clr.Enabled {
+		threshold = core.NewDynamicThreshold(clr.HPRows(devCfg.Rows), dram.ModeMaxCap)
+		devCfg.ModeOf = threshold
+	}
+
+	// Layout: each core gets a private page-aligned region of the global
+	// address space, packed contiguously.
+	bases := make([]uint64, len(profiles))
+	var totalPages int
+	for i, p := range profiles {
+		bases[i] = uint64(totalPages) * core.PageBytes
+		totalPages += p.FootprintPages
+	}
+
+	// Profile each workload (fresh readers, same seed as the run) and
+	// build the global hot-page ranking: each workload contributes its top
+	// HPFraction pages, interleaved by rank across cores (§8.1).
+	rankings := make([][]int, len(profiles))
+	for i, p := range profiles {
+		prof := core.NewProfiler()
+		prof.Sample(p.NewReader(opts.Seed+int64(i)), opts.ProfileRecords)
+		rankings[i] = prof.Ranking(p.FootprintPages)
+	}
+	ranking := combineRankings(rankings, bases, clr.HPFraction)
+	mapper, err := core.BuildMappingMulti(devCfg, clr, ranking, totalPages, opts.Channels)
+	if err != nil {
+		return nil, err
+	}
+
+	ctrls := make([]*mem.Controller, opts.Channels)
+	meters := make([]*power.Meter, opts.Channels)
+	for ch := 0; ch < opts.Channels; ch++ {
+		meter := power.NewMeter(power.Config{
+			IDD:     opts.IDD,
+			ClockNS: devCfg.ClockNS,
+			Timings: timingNSTable(clr),
+		})
+		chCfg := devCfg
+		chCfg.Listener = meter
+		dev := dram.NewDevice(chCfg)
+		memCfg := opts.Mem
+		memCfg.Refresh = refresh
+		ctrl, err := mem.NewController(dev, memCfg)
+		if err != nil {
+			return nil, err
+		}
+		ctrls[ch] = ctrl
+		meters[ch] = meter
+	}
+
+	s := &System{
+		opts:       opts,
+		clr:        clr,
+		llc:        cache.New(opts.LLC),
+		ctrls:      ctrls,
+		meters:     meters,
+		mapper:     mapper,
+		bases:      bases,
+		threshold:  threshold,
+		devCfg:     devCfg,
+		rankings:   rankings,
+		totalPages: totalPages,
+		dramPerCPU: (1.0 / opts.CPUClockGHz) / devCfg.ClockNS,
+	}
+
+	s.cores = make([]*cpu.Core, len(profiles))
+	s.readers = make([]trace.Reader, len(profiles))
+	for i, p := range profiles {
+		rd := p.NewReader(opts.Seed + int64(i))
+		s.readers[i] = rd
+		s.cores[i] = cpu.New(i, opts.CPU, rd, (*memPort)(s), opts.TargetInstructions)
+	}
+
+	s.warmup()
+	return s, nil
+}
+
+// timingNSTable assembles the per-mode nanosecond timings for the meter.
+func timingNSTable(clr core.Config) [dram.NumModes]dram.TimingNS {
+	tab := clr.Table
+	if tab == nil {
+		tab = core.DefaultTable()
+	}
+	var out [dram.NumModes]dram.TimingNS
+	out[dram.ModeDefault] = tab.Baseline
+	out[dram.ModeMaxCap] = tab.MaxCap
+	hp := tab.HighPerfET
+	if clr.Enabled {
+		if h, err := tab.HighPerfAt(clr.REFWms, clr.EarlyTermination); err == nil {
+			hp = h
+		}
+	}
+	out[dram.ModeHighPerf] = hp
+	return out
+}
+
+// combineRankings merges per-core page rankings into one global ranking:
+// first every core's top `frac` pages round-robin by rank position, then all
+// remaining pages in ascending global page order.
+func combineRankings(rankings [][]int, bases []uint64, frac float64) []int {
+	total := 0
+	for _, r := range rankings {
+		total += len(r)
+	}
+	out := make([]int, 0, total)
+	taken := make([]map[int]bool, len(rankings))
+	hotN := make([]int, len(rankings))
+	maxHot := 0
+	for i, r := range rankings {
+		hotN[i] = int(frac * float64(len(r)))
+		if hotN[i] > maxHot {
+			maxHot = hotN[i]
+		}
+		taken[i] = make(map[int]bool, hotN[i])
+	}
+	for pos := 0; pos < maxHot; pos++ {
+		for i, r := range rankings {
+			if pos < hotN[i] {
+				page := r[pos]
+				taken[i][page] = true
+				out = append(out, int(bases[i]/core.PageBytes)+page)
+			}
+		}
+	}
+	for i, r := range rankings {
+		base := int(bases[i] / core.PageBytes)
+		for page := 0; page < len(r); page++ {
+			if !taken[i][page] {
+				out = append(out, base+page)
+			}
+		}
+	}
+	return out
+}
+
+// warmup streams WarmupRecords per core through the LLC with no timing, so
+// the measured phase starts with realistic cache state (§8.1 fast-forward).
+func (s *System) warmup() {
+	for i := range s.cores {
+		for n := 0; n < s.opts.WarmupRecords; n++ {
+			rec, err := s.readers[i].Next()
+			if err != nil {
+				break
+			}
+			addr := s.bases[i] + rec.Addr
+			if s.llc.Access(addr, rec.Write, nil) == cache.Miss {
+				if victim, wb := s.llc.Fill(s.llc.LineAddr(addr)); wb {
+					_ = victim // warmup writebacks carry no timing cost
+				}
+			}
+		}
+	}
+}
+
+// memPort adapts System to cpu.MemPort.
+type memPort System
+
+// Load implements cpu.MemPort.
+func (p *memPort) Load(coreID int, addr uint64, onDone func()) bool {
+	s := (*System)(p)
+	global := s.bases[coreID] + addr
+	// Conservative: require controller space before touching the cache so
+	// a Miss never needs MSHR rollback.
+	ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
+	if !s.ctrls[ch].CanEnqueue(false) {
+		return false
+	}
+	switch s.llc.Access(global, false, onDone) {
+	case cache.Hit:
+		s.hits.push(hitEvent{due: s.cpuCycle + int64(s.opts.LLC.HitLatency), fn: onDone})
+		return true
+	case cache.MergedMiss:
+		return true
+	case cache.Miss:
+		s.cores[coreID].CountLLCMiss()
+		s.sendFetch(coreID, global)
+		return true
+	default: // Rejected: LLC MSHRs exhausted
+		return false
+	}
+}
+
+// Store implements cpu.MemPort.
+func (p *memPort) Store(coreID int, addr uint64) bool {
+	s := (*System)(p)
+	global := s.bases[coreID] + addr
+	ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
+	if !s.ctrls[ch].CanEnqueue(false) {
+		return false
+	}
+	switch s.llc.Access(global, true, nil) {
+	case cache.Hit, cache.MergedMiss:
+		return true
+	case cache.Miss:
+		// Write-allocate: fetch the line; the store retires immediately.
+		s.sendFetch(coreID, global)
+		return true
+	default:
+		return false
+	}
+}
+
+// sendFetch enqueues the memory read that backs an LLC miss.
+func (s *System) sendFetch(coreID int, global uint64) {
+	line := s.llc.LineAddr(global)
+	req := &mem.Request{
+		Addr: line,
+		Core: coreID,
+		OnComplete: func(int64) {
+			if victim, wb := s.llc.Fill(line); wb {
+				s.writeback(victim)
+			}
+		},
+	}
+	ch, da := s.mapper.TranslateChannel(line)
+	if !s.ctrls[ch].EnqueueDecoded(req, da) {
+		// CanEnqueue was checked by the caller in the same CPU cycle and no
+		// controller tick has happened since, so this cannot occur.
+		panic("sim: read enqueue failed after CanEnqueue")
+	}
+}
+
+// writeback enqueues a dirty-victim write, buffering it if the write queue
+// is full (retried every CPU cycle).
+func (s *System) writeback(victim uint64) {
+	req := &mem.Request{Addr: victim, Write: true}
+	ch, da := s.mapper.TranslateChannel(victim)
+	if !s.ctrls[ch].EnqueueDecoded(req, da) {
+		s.pendingWB = append(s.pendingWB, victim)
+	}
+}
+
+// step advances the whole system by one CPU cycle.
+func (s *System) step() {
+	// Fire due LLC-hit completions.
+	for s.hits.Len() > 0 && s.hits.peek().due <= s.cpuCycle {
+		s.hits.pop().fn()
+	}
+	// Retry buffered writebacks.
+	for len(s.pendingWB) > 0 {
+		v := s.pendingWB[len(s.pendingWB)-1]
+		req := &mem.Request{Addr: v, Write: true}
+		ch, da := s.mapper.TranslateChannel(v)
+		if !s.ctrls[ch].EnqueueDecoded(req, da) {
+			break
+		}
+		s.pendingWB = s.pendingWB[:len(s.pendingWB)-1]
+	}
+	for _, c := range s.cores {
+		c.Tick()
+	}
+	s.dramAcc += s.dramPerCPU
+	for s.dramAcc >= 1 {
+		for _, ctrl := range s.ctrls {
+			ctrl.Tick()
+		}
+		s.dramAcc--
+	}
+	s.cpuCycle++
+}
+
+// Run executes until every core reaches its instruction target (or the
+// safety bound) and returns the result.
+func (s *System) Run() Result {
+	allDone := func() bool {
+		for _, c := range s.cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+	timedOut := false
+	for !allDone() {
+		if s.cpuCycle >= s.opts.MaxCPUCycles {
+			timedOut = true
+			break
+		}
+		s.step()
+	}
+	return s.snapshotResult(timedOut)
+}
+
+// snapshotResult assembles a Result from the current simulation state.
+func (s *System) snapshotResult(timedOut bool) Result {
+	res := Result{
+		CLR:        s.clr,
+		CPUCycles:  s.cpuCycle,
+		DRAMCycles: s.ctrls[0].Clock(),
+		LLC:        s.llc.Stats(),
+		TimedOut:   timedOut,
+	}
+	for ch, ctrl := range s.ctrls {
+		e := s.meters[ch].Energy(ctrl.Clock())
+		res.Energy.ActPre += e.ActPre
+		res.Energy.ReadWrite += e.ReadWrite
+		res.Energy.IO += e.IO
+		res.Energy.Refresh += e.Refresh
+		res.Energy.Background += e.Background
+		res.PowerMW += s.meters[ch].AveragePowerMW(ctrl.Clock())
+		st := ctrl.Stats()
+		res.Mem.RowBuffer.Hits += st.RowBuffer.Hits
+		res.Mem.RowBuffer.Misses += st.RowBuffer.Misses
+		res.Mem.RowBuffer.Conflicts += st.RowBuffer.Conflicts
+		res.Mem.ReadsServed += st.ReadsServed
+		res.Mem.WritesServed += st.WritesServed
+		res.Mem.Refreshes += st.Refreshes
+		res.Mem.TimeoutCloses += st.TimeoutCloses
+	}
+	for _, c := range s.cores {
+		res.PerCore = append(res.PerCore, c.Stats())
+	}
+	return res
+}
+
+// hitEvent is a scheduled LLC-hit completion.
+type hitEvent struct {
+	due int64
+	fn  func()
+}
+
+// hitHeap is a min-heap on due cycle, via container/heap.
+type hitHeap struct{ evs []hitEvent }
+
+func (h *hitHeap) Len() int           { return len(h.evs) }
+func (h *hitHeap) Less(i, j int) bool { return h.evs[i].due < h.evs[j].due }
+func (h *hitHeap) Swap(i, j int)      { h.evs[i], h.evs[j] = h.evs[j], h.evs[i] }
+func (h *hitHeap) Push(x any)         { h.evs = append(h.evs, x.(hitEvent)) }
+func (h *hitHeap) Pop() any {
+	last := len(h.evs) - 1
+	ev := h.evs[last]
+	h.evs = h.evs[:last]
+	return ev
+}
+func (h *hitHeap) push(ev hitEvent) { heap.Push(h, ev) }
+func (h *hitHeap) pop() hitEvent    { return heap.Pop(h).(hitEvent) }
+func (h *hitHeap) peek() hitEvent   { return h.evs[0] }

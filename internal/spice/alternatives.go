@@ -1,0 +1,73 @@
+package spice
+
+import (
+	"fmt"
+
+	"clrdram/internal/dram"
+)
+
+// AlternativeTimings holds calibrated nanosecond timings for the §9
+// comparison designs, derived from their circuit topologies with the same
+// baseline calibration as BuildTimingTable.
+type AlternativeTimings struct {
+	Baseline dram.TimingNS
+	CLRHP    dram.TimingNS // CLR-DRAM high-performance w/ E.T.
+	TwinCell dram.TimingNS
+	MCR      dram.TimingNS
+	TLNear   dram.TimingNS
+	Source   string
+}
+
+// BuildAlternativeTimings extracts and calibrates timing parameters for
+// CLR-DRAM's high-performance mode and the three §9 comparison designs.
+// Monte Carlo worst case per design, like BuildTimingTable.
+func BuildAlternativeTimings(p Params, opts TableOptions) (*AlternativeTimings, error) {
+	opts = opts.withDefaults()
+	base, err := MonteCarlo(p, ModeBaseline, opts.Iterations, opts.Seed, opts.Sigma)
+	if err != nil {
+		return nil, err
+	}
+	cal := CalibrateBaseline(base)
+	mk := func(raw RawTimings, et bool) dram.TimingNS {
+		t := dram.DDR4BaselineNS()
+		ras, wr := raw.RASFull, raw.WRFull
+		if et {
+			ras, wr = raw.RASET, raw.WRET
+		}
+		t.RCD = raw.RCD * cal.RCD
+		t.RAS = ras * cal.RAS
+		t.RP = raw.RP * cal.RP
+		t.WR = wr * cal.WR
+		return t
+	}
+
+	out := &AlternativeTimings{Source: "circuit-simulation"}
+	out.Baseline = mk(base, false)
+
+	type spec struct {
+		mode Mode
+		dst  *dram.TimingNS
+		et   bool
+	}
+	for i, sp := range []spec{
+		// Early termination is CLR-DRAM's optimisation (§3.5); the static
+		// designs restore fully.
+		{ModeHighPerf, &out.CLRHP, true},
+		{ModeTwinCell, &out.TwinCell, false},
+		{ModeMCR, &out.MCR, false},
+		{ModeTLNear, &out.TLNear, false},
+	} {
+		raw, err := MonteCarlo(p, sp.mode, opts.Iterations, opts.Seed+int64(i)+1, opts.Sigma)
+		if err != nil {
+			return nil, fmt.Errorf("spice: %v: %w", sp.mode, err)
+		}
+		*sp.dst = mk(raw, sp.et)
+	}
+	// CLR-DRAM's reduced refresh latency (§3.6); the static alternatives
+	// refresh at baseline tRFC (their activation path is not accelerated
+	// by coupled SAs/PUs — twin-cell gains retention, not tRFC).
+	rasRed := 1 - out.CLRHP.RAS/out.Baseline.RAS
+	rpRed := 1 - out.CLRHP.RP/out.Baseline.RP
+	out.CLRHP.RFC = out.Baseline.RFC * (1 - (rasRed+rpRed)/2)
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package spice
+
+import (
+	"fmt"
+
+	"clrdram/internal/circuit"
+)
+
+// senseAmp groups the nodes of one SA: the two internal ports and the latch
+// rail nodes (SAN pulls low, SAP pulls high when enabled).
+type senseAmp struct {
+	bl, blb  circuit.Node
+	san, sap circuit.Node
+}
+
+// Subarray is one built netlist plus the handles the operations in ops.go
+// manipulate.
+type Subarray struct {
+	p    Params
+	mode Mode
+	c    *circuit.Circuit
+
+	vhalf circuit.Node // VDD/2 rail (precharge reference)
+	vddN  circuit.Node // VDD rail (write driver)
+	wl    circuit.Node // wordline of the accessed row
+
+	bl, blb []circuit.Node // bitline segments, index 0 at the top SA
+	cell    circuit.Node   // cell on bl
+	cellB   circuit.Node   // complementary cell on blb (coupled topologies)
+	cell2   circuit.Node   // second clone cell on bl (MCR only)
+
+	sa1 senseAmp // top SA (always present)
+	sa2 senseAmp // bottom SA (high-performance coupling)
+
+	pre1 circuit.Node // precharge gate of SA1's precharge unit
+	pre2 circuit.Node // precharge gate of the far-end/coupled precharge unit
+
+	// wrOn enables the write driver switches.
+	wrOn bool
+
+	hasSA2     bool
+	cellSeg    int  // segment index the cells attach to
+	expectHigh bool // which SA1 port should resolve high (set by InitData)
+}
+
+// Build constructs the netlist for a topology. The circuit starts in the
+// precharged state: bitlines and SA ports at VDD/2, SA rails at VDD/2
+// (disabled), wordline low, precharge units off (they are not needed to
+// hold the precharged initial condition).
+func Build(p Params, mode Mode) (*Subarray, error) {
+	if p.Segments < 2 {
+		return nil, fmt.Errorf("spice: need ≥2 bitline segments, got %d", p.Segments)
+	}
+	s := &Subarray{p: p, mode: mode, c: circuit.New(2 * p.VPP)}
+	c := s.c
+	vh := p.VDD / 2
+
+	s.vhalf = c.AddNode("vhalf", 1e-15)
+	c.Drive(s.vhalf, circuit.DC(vh))
+	s.vddN = c.AddNode("vdd", 1e-15)
+	c.Drive(s.vddN, circuit.DC(p.VDD))
+	s.wl = c.AddNode("wl", 1e-15)
+	c.Drive(s.wl, circuit.DC(0))
+
+	lineScale := 1.0
+	if mode == ModeTLNear {
+		// TL-DRAM near segment: a short bitline (the far segment sits
+		// behind an off isolation transistor and is invisible).
+		lineScale = TLNearFraction
+	}
+	segCap := lineScale * p.BitlineCap / float64(p.Segments)
+	segRes := lineScale * p.BitlineRes / float64(p.Segments-1)
+	mkLine := func(prefix string) []circuit.Node {
+		nodes := make([]circuit.Node, p.Segments)
+		for i := range nodes {
+			nodes[i] = c.AddNode(fmt.Sprintf("%s%d", prefix, i), segCap)
+			c.SetV(nodes[i], vh)
+			if i > 0 {
+				c.Add(circuit.NewResistor(nodes[i-1], nodes[i], segRes))
+			}
+		}
+		return nodes
+	}
+	s.bl = mkLine("bl")
+	s.blb = mkLine("blb") // reference line (baseline/max-cap) or complement
+
+	// Worst-case cell position: farthest from the single SA for the
+	// single-ended topologies, mid-line for the dual-SA topology.
+	s.cellSeg = p.Segments - 1
+	if mode == ModeHighPerf {
+		s.cellSeg = p.Segments / 2
+	}
+
+	// Cell on bl.
+	s.cell = c.AddNode("cell", p.CellCap)
+	c.Add(&circuit.MOSFET{D: s.bl[s.cellSeg], G: s.wl, S: s.cell, K: p.AccessK, Vt: p.AccessVt})
+	c.Add(&circuit.CurrentSink{N: s.cell, I: p.EffectiveLeak()})
+
+	addSA := func(name string, bl, blb circuit.Node) senseAmp {
+		sa := senseAmp{bl: bl, blb: blb}
+		sa.san = c.AddNode(name+".san", 2e-15)
+		sa.sap = c.AddNode(name+".sap", 2e-15)
+		c.Drive(sa.san, circuit.DC(vh)) // disabled: rails parked at VDD/2
+		c.Drive(sa.sap, circuit.DC(vh))
+		c.Add(&circuit.MOSFET{D: sa.bl, G: sa.blb, S: sa.san, K: p.SAK, Vt: p.SAVt})
+		c.Add(&circuit.MOSFET{D: sa.blb, G: sa.bl, S: sa.san, K: p.SAK, Vt: p.SAVt})
+		c.Add(&circuit.MOSFET{D: sa.bl, G: sa.blb, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true})
+		c.Add(&circuit.MOSFET{D: sa.blb, G: sa.bl, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true})
+		return sa
+	}
+	addPU := func(name string, gate, a, b circuit.Node) {
+		c.Add(&circuit.MOSFET{D: a, G: gate, S: b, K: p.PrechargeK, Vt: p.PrechargeVt})
+		c.Add(&circuit.MOSFET{D: a, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt})
+		c.Add(&circuit.MOSFET{D: b, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt})
+	}
+
+	s.pre1 = c.AddNode("pre1", 1e-15)
+	c.Drive(s.pre1, circuit.DC(0))
+	s.pre2 = c.AddNode("pre2", 1e-15)
+	c.Drive(s.pre2, circuit.DC(0))
+
+	addComplementCell := func() {
+		s.cellB = c.AddNode("cellB", p.CellCap)
+		c.Add(&circuit.MOSFET{D: s.blb[s.cellSeg], G: s.wl, S: s.cellB, K: p.AccessK, Vt: p.AccessVt})
+		c.Add(&circuit.CurrentSink{N: s.cellB, I: p.EffectiveLeak()})
+	}
+
+	switch mode {
+	case ModeBaseline, ModeTLNear:
+		// SA directly on the line ends (no isolation transistors); blb is
+		// the reference bitline of the adjacent subarray. The TL-DRAM near
+		// segment shares this wiring on its shortened line.
+		c.AddCap(s.bl[0], p.SACap)
+		c.AddCap(s.blb[0], p.SACap)
+		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
+		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
+
+	case ModeMaxCap:
+		// SA behind Type 1 isolation transistors (always on in this mode);
+		// the far-end Type 2 transistors connect a second precharge unit
+		// during precharge only (LISA-LIP-style precharge coupling, §7.2).
+		saBL := c.AddNode("sa1.pbl", p.SACap)
+		saBLB := c.AddNode("sa1.pblb", p.SACap)
+		c.SetV(saBL, vh)
+		c.SetV(saBLB, vh)
+		isoGate := c.AddNode("iso1", 1e-15)
+		c.Drive(isoGate, circuit.DC(p.VPP)) // Type 1 enabled
+		c.Add(&circuit.MOSFET{D: s.bl[0], G: isoGate, S: saBL, K: p.IsoK, Vt: p.IsoVt})
+		c.Add(&circuit.MOSFET{D: s.blb[0], G: isoGate, S: saBLB, K: p.IsoK, Vt: p.IsoVt})
+		s.sa1 = addSA("sa1", saBL, saBLB)
+		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
+		// Coupled far-end precharge unit, reached through the Type 2
+		// isolation transistors (whose gates are raised together with the
+		// precharge signal in this mode).
+		end := p.Segments - 1
+		pu2bl := c.AddNode("pu2.pbl", p.SACap)
+		pu2blb := c.AddNode("pu2.pblb", p.SACap)
+		c.SetV(pu2bl, vh)
+		c.SetV(pu2blb, vh)
+		c.Add(&circuit.MOSFET{D: s.bl[end], G: s.pre2, S: pu2bl, K: p.IsoK, Vt: p.IsoVt})
+		c.Add(&circuit.MOSFET{D: s.blb[end], G: s.pre2, S: pu2blb, K: p.IsoK, Vt: p.IsoVt})
+		addPU("pu2", s.pre2, pu2bl, pu2blb)
+
+	case ModeHighPerf:
+		// blb carries the complementary cell; both SAs couple across the
+		// pair through their isolation transistors (all enabled).
+		s.cellB = c.AddNode("cellB", p.CellCap)
+		c.Add(&circuit.MOSFET{D: s.blb[s.cellSeg], G: s.wl, S: s.cellB, K: p.AccessK, Vt: p.AccessVt})
+		c.Add(&circuit.CurrentSink{N: s.cellB, I: p.EffectiveLeak()})
+
+		isoGate := c.AddNode("iso", 1e-15)
+		c.Drive(isoGate, circuit.DC(p.VPP))
+		mkPort := func(name string, line circuit.Node) circuit.Node {
+			port := c.AddNode(name, p.SACap)
+			c.SetV(port, vh)
+			c.Add(&circuit.MOSFET{D: line, G: isoGate, S: port, K: p.IsoK, Vt: p.IsoVt})
+			return port
+		}
+		// SA1 at the top: Type 1 from bl[0], Type 2 from blb[0].
+		s.sa1 = addSA("sa1", mkPort("sa1.pbl", s.bl[0]), mkPort("sa1.pblb", s.blb[0]))
+		// SA2 at the bottom: Type 2 from bl[end], Type 1 from blb[end].
+		end := p.Segments - 1
+		s.sa2 = addSA("sa2", mkPort("sa2.pbl", s.bl[end]), mkPort("sa2.pblb", s.blb[end]))
+		s.hasSA2 = true
+		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
+		addPU("pu2", s.pre2, s.sa2.bl, s.sa2.blb)
+
+	case ModeTwinCell:
+		// §9 comparison: complementary coupled cells like high-performance
+		// mode, but a static design with a single SA directly on the line
+		// ends — no coupled SAs, no coupled precharge units.
+		addComplementCell()
+		c.AddCap(s.bl[0], p.SACap)
+		c.AddCap(s.blb[0], p.SACap)
+		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
+		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
+
+	case ModeMCR:
+		// §9 comparison: a second clone cell with the same data on the
+		// same bitline (MCR activates two clone rows together). Charge
+		// doubles on one line; the reference line stays passive; one SA.
+		s.cell2 = c.AddNode("cell2", p.CellCap)
+		c.Add(&circuit.MOSFET{D: s.bl[p.Segments/2], G: s.wl, S: s.cell2, K: p.AccessK, Vt: p.AccessVt})
+		c.Add(&circuit.CurrentSink{N: s.cell2, I: p.EffectiveLeak()})
+		c.AddCap(s.bl[0], p.SACap)
+		c.AddCap(s.blb[0], p.SACap)
+		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
+		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
+	}
+
+	// Write driver on SA1's ports (a single driver even when two SAs are
+	// coupled — the load effect the paper notes in §7.2's tWR footnote).
+	c.Add(&circuit.Switch{A: s.sa1.bl, B: s.vddN, G: p.WriteG, On: s.writeHigh})
+	c.Add(&circuit.Switch{A: s.sa1.blb, B: circuit.Ground, G: p.WriteG, On: s.writeOn})
+	return s, nil
+}
+
+// writeOn/writeHigh gate the write driver switches: the driver always
+// writes "bl = 1, blb = 0" (callers choose initial cell data so this is the
+// worst-case transition).
+func (s *Subarray) writeOn() bool   { return s.wrOn }
+func (s *Subarray) writeHigh() bool { return s.wrOn }
+
+// Circuit exposes the underlying circuit (for probing in tests/waveforms).
+func (s *Subarray) Circuit() *circuit.Circuit { return s.c }

@@ -1,0 +1,306 @@
+package spice
+
+import (
+	"fmt"
+
+	"clrdram/internal/circuit"
+)
+
+// Sample is one waveform point (Figures 7 and 8).
+type Sample struct {
+	T     float64 // seconds from the start of the operation sequence
+	BL    float64 // SA1 bitline port
+	BLB   float64 // SA1 bitline-bar port
+	Cell  float64
+	CellB float64 // NaN-free: 0 for single-cell topologies
+}
+
+// Recorder collects waveform samples at a fixed interval.
+type Recorder struct {
+	Every   float64
+	Samples []Sample
+	next    float64
+}
+
+// record captures a sample if the interval elapsed.
+func (r *Recorder) record(s *Subarray) {
+	if r == nil {
+		return
+	}
+	t := s.c.Time()
+	if t < r.next {
+		return
+	}
+	r.next = t + r.Every
+	smp := Sample{
+		T:    t,
+		BL:   s.c.V(s.sa1.bl),
+		BLB:  s.c.V(s.sa1.blb),
+		Cell: s.c.V(s.cell),
+	}
+	switch s.mode {
+	case ModeHighPerf, ModeTwinCell:
+		smp.CellB = s.c.V(s.cellB)
+	case ModeMCR:
+		smp.CellB = s.c.V(s.cell2)
+	}
+	r.Samples = append(r.Samples, smp)
+}
+
+// InitData sets the stored data before an activation. charged selects
+// whether the cell on bl holds a high level; cellV is the (possibly
+// leakage-decayed) voltage of the charged cell. In high-performance mode
+// the complementary cell holds the opposite level (§3.4: coupled cells
+// always store opposite charge).
+func (s *Subarray) InitData(charged bool, cellV float64) {
+	hi, lo := cellV, 0.0
+	if !charged {
+		hi, lo = 0, cellV
+	}
+	s.c.SetV(s.cell, hi)
+	switch s.mode {
+	case ModeHighPerf, ModeTwinCell:
+		// Complementary coupled cell (§3.4; twin-cell likewise).
+		s.c.SetV(s.cellB, lo)
+	case ModeMCR:
+		// Clone cell holds the same data.
+		s.c.SetV(s.cell2, hi)
+	}
+	s.expectHigh = charged
+}
+
+// ActResult holds the raw timings (seconds) extracted from one activation.
+type ActResult struct {
+	TSense   float64 // wordline assert → SA enable (ΔV = ΔVth, Ⓐ)
+	TRCD     float64 // wordline assert → ready-to-access (Ⓑ)
+	TRASFull float64 // wordline assert → full restoration
+	TRASET   float64 // wordline assert → early-termination restoration (VET)
+	OK       bool    // the SA resolved to the correct polarity
+}
+
+// runUntil steps the subarray circuit until cond or the per-phase bound.
+func (s *Subarray) runUntil(rec *Recorder, cond func() bool) (float64, error) {
+	deadline := s.c.Time() + s.p.MaxTime
+	for s.c.Time() < deadline {
+		if err := s.c.Step(s.p.Dt); err != nil {
+			return 0, err
+		}
+		rec.record(s)
+		if cond() {
+			return s.c.Time(), nil
+		}
+	}
+	return 0, fmt.Errorf("spice: condition not reached within %v s (mode %v)", s.p.MaxTime, s.mode)
+}
+
+// Activate performs a row activation from the precharged state and extracts
+// the timing events. InitData must have been called.
+func (s *Subarray) Activate(rec *Recorder) (ActResult, error) {
+	p := s.p
+	var res ActResult
+	t0 := s.c.Time() + 0.5e-9
+	s.c.Drive(s.wl, circuit.Step(0, p.VPP, t0, 0.2e-9))
+
+	// Phase 1 — charge sharing until ΔV reaches the sense threshold.
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	tSense, err := s.runUntil(rec, func() bool {
+		return abs(s.c.V(s.sa1.bl)-s.c.V(s.sa1.blb)) >= p.SenseVth
+	})
+	if err != nil {
+		return res, fmt.Errorf("charge sharing: %w", err)
+	}
+	res.TSense = tSense - t0
+
+	// Enable the sense amplifier(s).
+	s.enableSAs(tSense)
+
+	// Phase 2 — amplification to the ready-to-access level.
+	hi, lo := s.sa1.bl, s.sa1.blb
+	if !s.expectHigh {
+		hi, lo = lo, hi
+	}
+	vReady := p.ReadyFrac * p.VDD
+	vLow := (1 - p.ReadyFrac) * p.VDD
+	tRCD, err := s.runUntil(rec, func() bool {
+		return (s.c.V(hi) >= vReady && s.c.V(lo) <= vLow) || s.resolvedWrong()
+	})
+	if err != nil {
+		return res, fmt.Errorf("amplification: %w", err)
+	}
+	if s.resolvedWrong() {
+		res.OK = false
+		return res, nil
+	}
+	res.TRCD = tRCD - t0
+
+	// Phase 3 — charge restoration; record the early-termination and full
+	// crossings: the high cell must rise to its target, the low cell (the
+	// same cell when reading a '0', the complementary cell in
+	// high-performance mode) must settle to ground.
+	highCells, lowCells := s.restorationCells()
+	tET, err := s.runUntil(rec, func() bool { return s.restored(highCells, lowCells, true) })
+	if err != nil {
+		return res, fmt.Errorf("restoration (ET): %w", err)
+	}
+	res.TRASET = tET - t0
+	tFull, err := s.runUntil(rec, func() bool { return s.restored(highCells, lowCells, false) })
+	if err != nil {
+		return res, fmt.Errorf("restoration (full): %w", err)
+	}
+	res.TRASFull = tFull - t0
+	res.OK = true
+	return res, nil
+}
+
+// resolvedWrong reports a sense inversion: the port that should stay low
+// has been amplified high.
+func (s *Subarray) resolvedWrong() bool {
+	hi, lo := s.sa1.bl, s.sa1.blb
+	if !s.expectHigh {
+		hi, lo = lo, hi
+	}
+	return s.c.V(lo)-s.c.V(hi) > 0.3
+}
+
+// restorationCells returns the cells that must restore high and the cells
+// that must settle low, per topology and stored data.
+func (s *Subarray) restorationCells() (highCells, lowCells []circuit.Node) {
+	switch s.mode {
+	case ModeHighPerf, ModeTwinCell:
+		if s.expectHigh {
+			return []circuit.Node{s.cell}, []circuit.Node{s.cellB}
+		}
+		return []circuit.Node{s.cellB}, []circuit.Node{s.cell}
+	case ModeMCR:
+		both := []circuit.Node{s.cell, s.cell2}
+		if s.expectHigh {
+			return both, nil
+		}
+		return nil, both
+	default:
+		if s.expectHigh {
+			return []circuit.Node{s.cell}, nil
+		}
+		return nil, []circuit.Node{s.cell}
+	}
+}
+
+// restored evaluates the restoration condition. With early termination the
+// high cells only need to reach VET (§3.5); low cells always settle fully
+// (discharged cells restore faster, Figure 8 observation Ⓐ).
+func (s *Subarray) restored(highCells, lowCells []circuit.Node, earlyTermination bool) bool {
+	p := s.p
+	target := p.RestoreFrac * p.VDD
+	if earlyTermination {
+		target = p.ETFrac * p.VDD
+	}
+	for _, n := range highCells {
+		if s.c.V(n) < target {
+			return false
+		}
+	}
+	for _, n := range lowCells {
+		if s.c.V(n) > p.EmptyFrac*p.VDD {
+			return false
+		}
+	}
+	return true
+}
+
+// enableSAs drives the latch rails of every present SA at time t.
+func (s *Subarray) enableSAs(t float64) {
+	p := s.p
+	vh := p.VDD / 2
+	ramp := 1e-9
+	s.c.Drive(s.sa1.san, circuit.Step(vh, 0, t, ramp))
+	s.c.Drive(s.sa1.sap, circuit.Step(vh, p.VDD, t, ramp))
+	if s.hasSA2 {
+		s.c.Drive(s.sa2.san, circuit.Step(vh, 0, t, ramp))
+		s.c.Drive(s.sa2.sap, circuit.Step(vh, p.VDD, t, ramp))
+	}
+}
+
+// disableSAs parks the latch rails back at VDD/2 at time t.
+func (s *Subarray) disableSAs(t float64) {
+	p := s.p
+	vh := p.VDD / 2
+	ramp := 0.5e-9
+	s.c.Drive(s.sa1.san, circuit.Step(s.c.V(s.sa1.san), vh, t, ramp))
+	s.c.Drive(s.sa1.sap, circuit.Step(s.c.V(s.sa1.sap), vh, t, ramp))
+	if s.hasSA2 {
+		s.c.Drive(s.sa2.san, circuit.Step(s.c.V(s.sa2.san), vh, t, ramp))
+		s.c.Drive(s.sa2.sap, circuit.Step(s.c.V(s.sa2.sap), vh, t, ramp))
+	}
+}
+
+// Precharge closes the row from the current (activated) state and returns
+// the raw tRP: the time from the precharge command until every bitline node
+// of interest settles within PrechargeTol of VDD/2. CLR-DRAM topologies
+// engage the second (coupled) precharge unit (§7.2).
+func (s *Subarray) Precharge(rec *Recorder) (float64, error) {
+	p := s.p
+	t0 := s.c.Time() + 0.2e-9
+	s.c.Drive(s.wl, circuit.Step(p.VPP, 0, t0, 0.5e-9))
+	s.disableSAs(t0)
+	s.c.Drive(s.pre1, circuit.Step(0, p.VPP, t0, 0.5e-9))
+	if s.mode != ModeBaseline {
+		s.c.Drive(s.pre2, circuit.Step(0, p.VPP, t0, 0.5e-9))
+	}
+	vh := p.VDD / 2
+	within := func(n circuit.Node) bool {
+		d := s.c.V(n) - vh
+		if d < 0 {
+			d = -d
+		}
+		return d <= p.PrechargeTol
+	}
+	probes := []circuit.Node{s.sa1.bl, s.sa1.blb, s.bl[0], s.blb[0],
+		s.bl[p.Segments-1], s.blb[p.Segments-1]}
+	tEnd, err := s.runUntil(rec, func() bool {
+		for _, n := range probes {
+			if !within(n) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, fmt.Errorf("precharge: %w", err)
+	}
+	return tEnd - t0, nil
+}
+
+// WrResult holds raw write-recovery timings (seconds).
+type WrResult struct {
+	TWRFull float64 // driver start → full restoration of the written cell
+	TWRET   float64 // driver start → early-termination level
+}
+
+// Write flips the open row's data through the write driver (which always
+// drives bl high) and measures write recovery. The caller must have
+// activated with the cell initially discharged so the write is the
+// worst-case charging transition.
+func (s *Subarray) Write(rec *Recorder) (WrResult, error) {
+	var res WrResult
+	s.wrOn = true
+	s.expectHigh = true // the driver writes bl = 1
+	t0 := s.c.Time()
+	highCells, lowCells := s.restorationCells()
+	tET, err := s.runUntil(rec, func() bool { return s.restored(highCells, lowCells, true) })
+	if err != nil {
+		return res, fmt.Errorf("write (ET): %w", err)
+	}
+	res.TWRET = tET - t0
+	tFull, err := s.runUntil(rec, func() bool { return s.restored(highCells, lowCells, false) })
+	if err != nil {
+		return res, fmt.Errorf("write (full): %w", err)
+	}
+	res.TWRFull = tFull - t0
+	s.wrOn = false
+	return res, nil
+}

@@ -1,0 +1,334 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clrdram/internal/dram"
+)
+
+// extractAll runs Extract for all three topologies with fresh cells.
+func extractAll(t *testing.T) (base, mc, hp RawTimings) {
+	t.Helper()
+	p := Default()
+	var err error
+	base, err = Extract(p, ModeBaseline, p.RestoreFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err = Extract(p, ModeMaxCap, p.RestoreFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err = Extract(p, ModeHighPerf, p.RestoreFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, mc, hp
+}
+
+func TestTopologyOrdering(t *testing.T) {
+	base, mc, hp := extractAll(t)
+
+	// High-performance mode beats baseline on every activation metric
+	// (§3.4) — the paper's central circuit-level claim.
+	if hp.RCD >= base.RCD {
+		t.Errorf("HP tRCD (%v) should beat baseline (%v)", hp.RCD, base.RCD)
+	}
+	if hp.RASFull >= base.RASFull {
+		t.Errorf("HP tRAS (%v) should beat baseline (%v)", hp.RASFull, base.RASFull)
+	}
+	if hp.RP >= base.RP {
+		t.Errorf("HP tRP (%v) should beat baseline (%v)", hp.RP, base.RP)
+	}
+
+	// Max-capacity mode: slightly faster tRCD (SA decoupled from the long
+	// bitline), slightly slower tRAS/tWR (current through the isolation
+	// transistor), much faster tRP (coupled precharge units) — §7.2.
+	if mc.RCD >= base.RCD {
+		t.Errorf("max-cap tRCD (%v) should be slightly below baseline (%v)", mc.RCD, base.RCD)
+	}
+	if mc.RASFull <= base.RASFull {
+		t.Errorf("max-cap tRAS (%v) should be slightly above baseline (%v)", mc.RASFull, base.RASFull)
+	}
+	if mc.WRFull <= base.WRFull {
+		t.Errorf("max-cap tWR (%v) should be above baseline (%v)", mc.WRFull, base.WRFull)
+	}
+	if mc.RP >= base.RP {
+		t.Errorf("max-cap tRP (%v) should be below baseline (%v)", mc.RP, base.RP)
+	}
+	// tRP reduction applies to both CLR modes and is similar (§7.2).
+	if r := mc.RP / hp.RP; r < 0.7 || r > 1.4 {
+		t.Errorf("max-cap and HP tRP should be similar, ratio %v", r)
+	}
+}
+
+func TestReductionBands(t *testing.T) {
+	// Shape-level bands around the paper's Table 1 reductions.
+	base, _, hp := extractAll(t)
+	checks := []struct {
+		name   string
+		ratio  float64
+		lo, hi float64
+	}{
+		{"tRCD", hp.RCD / base.RCD, 0.35, 0.70},               // paper 0.40
+		{"tRAS(noET)", hp.RASFull / base.RASFull, 0.40, 0.65}, // paper 0.515
+		{"tRAS(ET)", hp.RASET / base.RASFull, 0.30, 0.55},     // paper 0.358
+		{"tRP", hp.RP / base.RP, 0.25, 0.65},                  // paper 0.535
+		{"tWR(ET)", hp.WRET / base.WRFull, 0.45, 0.80},        // paper 0.648
+	}
+	for _, c := range checks {
+		if c.ratio < c.lo || c.ratio > c.hi {
+			t.Errorf("%s HP/baseline ratio = %.3f, want in [%.2f, %.2f]", c.name, c.ratio, c.lo, c.hi)
+		}
+	}
+}
+
+func TestEarlyTerminationOrdering(t *testing.T) {
+	_, _, hp := extractAll(t)
+	if hp.RASET >= hp.RASFull {
+		t.Errorf("early termination must shorten restoration: ET %v vs full %v", hp.RASET, hp.RASFull)
+	}
+	if hp.WRET >= hp.WRFull {
+		t.Errorf("early termination must shorten write recovery: ET %v vs full %v", hp.WRET, hp.WRFull)
+	}
+}
+
+func TestETReducedChargeSlowsNextActivation(t *testing.T) {
+	// §3.5: terminating restoration at VET leaves less charge, so the next
+	// activation's tRCD grows slightly.
+	p := Default()
+	full, err := Extract(p, ModeHighPerf, p.RestoreFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := Extract(p, ModeHighPerf, p.ETFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.RCD <= full.RCD {
+		t.Errorf("VET-restored activation tRCD (%v) should exceed fully-restored (%v)", et.RCD, full.RCD)
+	}
+	if et.RCD > full.RCD*1.25 {
+		t.Errorf("VET tRCD penalty too large: %v vs %v (paper: marginal)", et.RCD, full.RCD)
+	}
+}
+
+func TestMonteCarloWorstCaseAndDeterminism(t *testing.T) {
+	p := Default()
+	nominal, err := Extract(p, ModeHighPerf, p.RestoreFrac*p.VDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := MonteCarlo(p, ModeHighPerf, 6, 7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.RCD < nominal.RCD || worst.RASFull < nominal.RASFull || worst.RP < nominal.RP {
+		t.Errorf("Monte Carlo worst case must dominate the nominal draw: %+v vs %+v", worst, nominal)
+	}
+	again, err := MonteCarlo(p, ModeHighPerf, 6, 7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst != again {
+		t.Error("Monte Carlo not deterministic for a fixed seed")
+	}
+}
+
+func TestCalibrationMapsBaselineToPaper(t *testing.T) {
+	base, _, _ := extractAll(t)
+	cal := CalibrateBaseline(base)
+	b := dram.DDR4BaselineNS()
+	if v := base.RCD * cal.RCD; math.Abs(v-b.RCD) > 1e-9 {
+		t.Errorf("calibrated baseline tRCD = %v, want %v", v, b.RCD)
+	}
+	if v := base.RP * cal.RP; math.Abs(v-b.RP) > 1e-9 {
+		t.Errorf("calibrated baseline tRP = %v, want %v", v, b.RP)
+	}
+}
+
+func TestBuildTimingTable(t *testing.T) {
+	tab, err := BuildTimingTable(Default(), TableOptions{Iterations: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Source != "circuit-simulation" {
+		t.Errorf("Source = %q", tab.Source)
+	}
+	// Baseline column calibrates exactly to the paper.
+	b := dram.DDR4BaselineNS()
+	if math.Abs(tab.Baseline.RCD-b.RCD) > 1e-9 || math.Abs(tab.Baseline.RAS-b.RAS) > 1e-9 {
+		t.Errorf("baseline column %+v does not match Table 1", tab.Baseline)
+	}
+	// Reduction summary within shape bands.
+	red := tab.ReductionSummary()
+	bands := map[string][2]float64{
+		"tRCD": {0.30, 0.65}, // paper 0.601
+		"tRAS": {0.45, 0.70}, // paper 0.642
+		"tRP":  {0.35, 0.75}, // paper 0.464
+		"tWR":  {0.20, 0.55}, // paper 0.352
+	}
+	for k, band := range bands {
+		if red[k] < band[0] || red[k] > band[1] {
+			t.Errorf("%s reduction = %.3f, want in [%.2f, %.2f]", k, red[k], band[0], band[1])
+		}
+	}
+	// The refresh-window curve is monotone, starts at 64 ms, and the sweep
+	// terminates within a plausible window of the paper's ~204 ms limit.
+	if tab.REFWCurve[0].Ms != 64 {
+		t.Errorf("curve starts at %v ms", tab.REFWCurve[0].Ms)
+	}
+	if max := tab.MaxREFWms(); max < 120 || max > 320 {
+		t.Errorf("sweep limit %v ms implausible vs paper's ≈204 ms", max)
+	}
+	for i := 1; i < len(tab.REFWCurve); i++ {
+		if tab.REFWCurve[i].RCD <= tab.REFWCurve[i-1].RCD ||
+			tab.REFWCurve[i].RAS <= tab.REFWCurve[i-1].RAS {
+			t.Fatalf("curve not strictly increasing at %v ms", tab.REFWCurve[i].Ms)
+		}
+	}
+	// The table must be usable by the core layer.
+	if _, err := tab.HighPerfAt(tab.MaxREFWms(), true); err != nil {
+		t.Errorf("HighPerfAt(max) failed: %v", err)
+	}
+}
+
+func TestREFWSweepEndsAtSensingFailure(t *testing.T) {
+	p := Default()
+	pts, err := REFWSweep(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("sweep too short: %d points", len(pts))
+	}
+	// Raw tRCD grows monotonically with the window.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RCD <= pts[i-1].RCD {
+			t.Fatalf("sweep tRCD not increasing at %v ms", pts[i].Ms)
+		}
+	}
+	// The cell voltage at the last point is far below fresh — the sweep
+	// really pushed to the sensing limit.
+	if pts[len(pts)-1].V0 > 0.7*p.ETFrac*p.VDD {
+		t.Errorf("sweep ended with V0=%v, sensing limit not reached", pts[len(pts)-1].V0)
+	}
+}
+
+func TestWaveformActPre(t *testing.T) {
+	p := Default()
+	for _, mode := range []Mode{ModeBaseline, ModeHighPerf} {
+		samples, raw, err := WaveformActPre(p, mode, 0.1e-9)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(samples) < 50 {
+			t.Fatalf("%v: only %d samples", mode, len(samples))
+		}
+		// Bitlines split to near-rails mid-sequence, then return to VDD/2.
+		var maxSplit float64
+		for _, s := range samples {
+			if d := math.Abs(s.BL - s.BLB); d > maxSplit {
+				maxSplit = d
+			}
+		}
+		if maxSplit < 0.9*p.VDD {
+			t.Errorf("%v: bitlines never split to rails (max ΔV %v)", mode, maxSplit)
+		}
+		last := samples[len(samples)-1]
+		if math.Abs(last.BL-p.VDD/2) > 0.1 || math.Abs(last.BLB-p.VDD/2) > 0.1 {
+			t.Errorf("%v: bitlines not precharged at end: %v/%v", mode, last.BL, last.BLB)
+		}
+		if raw.RCD <= 0 || raw.RP <= 0 {
+			t.Errorf("%v: missing raw timings %+v", mode, raw)
+		}
+	}
+}
+
+func TestHighPerfWaveformComplementaryCells(t *testing.T) {
+	// Figure 7 bottom: the coupled cells hold opposite levels and restore
+	// in opposite directions.
+	samples, _, err := WaveformActPre(Default(), ModeHighPerf, 0.1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the restoration peak: cell near VDD while cellB near 0.
+	ok := false
+	for _, s := range samples {
+		if s.Cell > 1.0 && s.CellB < 0.2 {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Error("coupled cells never reached complementary restored levels")
+	}
+}
+
+func TestExtractFailsOnDepletedCell(t *testing.T) {
+	p := Default()
+	if _, err := Extract(p, ModeHighPerf, 0.05); err == nil {
+		t.Error("activation with a nearly-empty cell should fail to sense")
+	}
+}
+
+func TestBuildRejectsBadGeometry(t *testing.T) {
+	p := Default()
+	p.Segments = 1
+	if _, err := Build(p, ModeBaseline); err == nil {
+		t.Error("1-segment bitline should be rejected")
+	}
+}
+
+func TestPerturbVariesComponents(t *testing.T) {
+	p := Default()
+	rng := newRand(42)
+	q := p.Perturb(rng, 0.05)
+	if q.CellCap == p.CellCap && q.SAK == p.SAK && q.BitlineCap == p.BitlineCap {
+		t.Error("Perturb changed nothing")
+	}
+	if q.SenseVth != p.SenseVth || q.Dt != p.Dt {
+		t.Error("Perturb must not vary control thresholds or the grid")
+	}
+}
+
+// newRand keeps the test file self-contained without importing math/rand at
+// the top level twice.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestTemperatureDeratesLeakage(t *testing.T) {
+	p := Default()
+	ref := p.EffectiveLeak()
+	p.TempC = 95
+	if hot := p.EffectiveLeak(); hot <= ref*1.9 || hot >= ref*2.1 {
+		t.Fatalf("+10°C should ≈double leakage: %v vs %v", hot, ref)
+	}
+	p.TempC = 55
+	if cold := p.EffectiveLeak(); cold >= ref/7 {
+		t.Fatalf("-30°C should cut leakage ≈8x: %v vs %v", cold, ref)
+	}
+	p.TempC = 0
+	if p.EffectiveLeak() != p.LeakI {
+		t.Fatal("zero TempC must mean the 85°C reference")
+	}
+}
+
+func TestColdTemperatureExtendsRefreshSweep(t *testing.T) {
+	hot := Default() // 85°C
+	cold := Default()
+	cold.TempC = 65 // leakage /4
+	hotPts, err := REFWSweep(hot, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldPts, err := REFWSweep(cold, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldPts[len(coldPts)-1].Ms <= hotPts[len(hotPts)-1].Ms {
+		t.Fatalf("lower temperature should extend the sweep limit: %v vs %v ms",
+			coldPts[len(coldPts)-1].Ms, hotPts[len(hotPts)-1].Ms)
+	}
+}

@@ -1,0 +1,201 @@
+// Package stats provides the performance and energy metrics used throughout
+// the CLR-DRAM evaluation: IPC, weighted speedup, MPKI, geometric means, and
+// row-buffer outcome accounting.
+//
+// The metrics follow the paper's methodology (§8.1): instructions per cycle
+// for single-core runs, weighted speedup (Eyerman & Eeckhout / Snavely &
+// Tullsen) for multi-programmed runs, and geometric means for all averages.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// GeoMean returns the geometric mean of xs. It panics if any value is
+// non-positive, because a non-positive speedup or energy ratio always
+// indicates a harness bug rather than a measurable result.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CoreStats accumulates per-core performance counters during a simulation.
+type CoreStats struct {
+	Instructions uint64 // retired instructions
+	MemAccesses  uint64 // memory instructions issued to the LLC
+	LLCMisses    uint64 // LLC load misses (defines MPKI per the paper)
+	Cycles       uint64 // core-clock cycles elapsed until this core finished
+}
+
+// IPC returns instructions per core-clock cycle.
+func (c CoreStats) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// MPKI returns LLC misses per kilo-instruction, the paper's memory-intensity
+// metric (MPKI > 2.0 classifies a workload as memory-intensive, §8.1).
+func (c CoreStats) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.LLCMisses) / float64(c.Instructions) * 1000
+}
+
+// WeightedSpeedup computes Σ IPC_shared[i]/IPC_alone[i] over cores, the
+// paper's multi-core performance metric. The slices must be equal length.
+func WeightedSpeedup(shared, alone []float64) float64 {
+	if len(shared) != len(alone) {
+		panic("stats: WeightedSpeedup slice length mismatch")
+	}
+	ws := 0.0
+	for i := range shared {
+		if alone[i] <= 0 {
+			panic("stats: WeightedSpeedup with non-positive alone IPC")
+		}
+		ws += shared[i] / alone[i]
+	}
+	return ws
+}
+
+// RowBufferStats counts the three possible outcomes of a memory request with
+// respect to the row buffer of its target bank.
+type RowBufferStats struct {
+	Hits      uint64 // target row already open
+	Misses    uint64 // bank precharged, row had to be activated
+	Conflicts uint64 // different row open, precharge + activate required
+}
+
+// Total returns the total number of classified requests.
+func (r RowBufferStats) Total() uint64 { return r.Hits + r.Misses + r.Conflicts }
+
+// HitRate returns the fraction of requests that hit in the row buffer.
+func (r RowBufferStats) HitRate() float64 {
+	t := r.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(t)
+}
+
+// Histogram is a fixed-bucket histogram for latency-style distributions.
+type Histogram struct {
+	BucketWidth float64
+	Counts      []uint64
+	Overflow    uint64
+	Samples     uint64
+	Sum         float64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	return &Histogram{BucketWidth: width, Counts: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.Samples++
+	h.Sum += v
+	idx := int(v / h.BucketWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		h.Overflow++
+		return
+	}
+	h.Counts[idx]++
+}
+
+// MeanValue returns the mean of all recorded samples.
+func (h *Histogram) MeanValue() float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Samples)
+}
+
+// Percentile returns an approximate p-quantile (0 < p <= 1) assuming samples
+// are uniformly distributed within each bucket. Overflow samples map to the
+// top bucket boundary.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.Samples == 0 {
+		return 0
+	}
+	target := p * float64(h.Samples)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= target {
+			return (float64(i) + 0.5) * h.BucketWidth
+		}
+	}
+	return float64(len(h.Counts)) * h.BucketWidth
+}

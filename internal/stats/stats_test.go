@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); !almostEqual(g, 2, 1e-12) {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", g)
+	}
+	if g := GeoMean([]float64{2, 2, 2}); !almostEqual(g, 2, 1e-12) {
+		t.Fatalf("GeoMean(2,2,2) = %v, want 2", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v, want 0", g)
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive input")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 1e-9 && v < 1e9 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if m := Mean(xs); !almostEqual(m, 2, 1e-12) {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Min(xs); m != 1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m := Max(xs); m != 3 {
+		t.Fatalf("Max = %v", m)
+	}
+	if m := Median(xs); m != 2 {
+		t.Fatalf("Median = %v", m)
+	}
+	if m := Median([]float64{1, 2, 3, 4}); !almostEqual(m, 2.5, 1e-12) {
+		t.Fatalf("Median even = %v", m)
+	}
+}
+
+func TestCoreStats(t *testing.T) {
+	c := CoreStats{Instructions: 1000, LLCMisses: 5, Cycles: 500}
+	if ipc := c.IPC(); !almostEqual(ipc, 2, 1e-12) {
+		t.Fatalf("IPC = %v", ipc)
+	}
+	if m := c.MPKI(); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("MPKI = %v", m)
+	}
+	var zero CoreStats
+	if zero.IPC() != 0 || zero.MPKI() != 0 {
+		t.Fatal("zero CoreStats should produce zero metrics")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if !almostEqual(ws, 1.5, 1e-12) {
+		t.Fatalf("WeightedSpeedup = %v, want 1.5", ws)
+	}
+}
+
+func TestWeightedSpeedupIdentity(t *testing.T) {
+	// Running alone (shared == alone) must give WS == number of cores.
+	f := func(raw []float64) bool {
+		alone := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 1e-6 && v < 1e6 {
+				alone = append(alone, v)
+			}
+		}
+		ws := WeightedSpeedup(alone, alone)
+		return almostEqual(ws, float64(len(alone)), 1e-9*float64(len(alone)+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowBufferStats(t *testing.T) {
+	r := RowBufferStats{Hits: 6, Misses: 2, Conflicts: 2}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if hr := r.HitRate(); !almostEqual(hr, 0.6, 1e-12) {
+		t.Fatalf("HitRate = %v", hr)
+	}
+	var zero RowBufferStats
+	if zero.HitRate() != 0 {
+		t.Fatal("zero hit rate expected")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for _, v := range []float64{0.5, 1.5, 2.5, 2.6, 100} {
+		h.Add(v)
+	}
+	if h.Samples != 5 {
+		t.Fatalf("Samples = %d", h.Samples)
+	}
+	if h.Overflow != 1 {
+		t.Fatalf("Overflow = %d", h.Overflow)
+	}
+	if h.Counts[2] != 2 {
+		t.Fatalf("Counts[2] = %d", h.Counts[2])
+	}
+	if m := h.MeanValue(); !almostEqual(m, (0.5+1.5+2.5+2.6+100)/5, 1e-9) {
+		t.Fatalf("MeanValue = %v", m)
+	}
+	if p := h.Percentile(0.5); p < 0 || p > 10 {
+		t.Fatalf("Percentile(0.5) = %v out of range", p)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	h := NewHistogram(100, 1.0)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	last := -1.0
+	for p := 0.1; p <= 1.0; p += 0.1 {
+		v := h.Percentile(p)
+		if v < last {
+			t.Fatalf("Percentile not monotone at p=%v: %v < %v", p, v, last)
+		}
+		last = v
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := []Record{
+		{Bubble: 0, Addr: 0x1000, Write: false},
+		{Bubble: 17, Addr: 0xdeadbeef, Write: true},
+		{Bubble: 3, Addr: 0, Write: false},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(bubbles []uint16, addrs []uint64, writes []bool) bool {
+		n := len(bubbles)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(writes) < n {
+			n = len(writes)
+		}
+		in := make([]Record, n)
+		for i := 0; i < n; i++ {
+			in[i] = Record{Bubble: int(bubbles[i]), Addr: addrs[i], Write: writes[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out) != n {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\n3 0x40 R\n  \n0 0x80 W\n"
+	out, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Bubble != 3 || !out[1].Write {
+		t.Fatalf("unexpected parse result %+v", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"notanumber 0x40 R",
+		"3 zz R",
+		"3 0x40 X",
+		"3 0x40",
+		"-1 0x40 R",
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSliceReader(t *testing.T) {
+	recs := []Record{{Addr: 1}, {Addr: 2}}
+	r := &SliceReader{Records: recs}
+	a, _ := r.Next()
+	b, _ := r.Next()
+	if a.Addr != 1 || b.Addr != 2 {
+		t.Fatal("wrong order")
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	r.Reset()
+	if got, _ := r.Next(); got.Addr != 1 {
+		t.Fatal("Reset did not rewind")
+	}
+
+	loop := &SliceReader{Records: recs, Loop: true}
+	for i := 0; i < 10; i++ {
+		if _, err := loop.Next(); err != nil {
+			t.Fatalf("looping reader returned %v", err)
+		}
+	}
+}
+
+func TestSliceReaderEmpty(t *testing.T) {
+	r := &SliceReader{Loop: true}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatal("empty looping reader must return EOF, not spin")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	r := &SliceReader{Records: []Record{{Addr: 1}, {Addr: 2}, {Addr: 3}}}
+	got, err := Collect(r, 2)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("Collect(2) = %v, %v", got, err)
+	}
+	got, err = Collect(r, 10)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Collect to EOF = %v, %v", got, err)
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	if (Record{Bubble: 9}).Instructions() != 10 {
+		t.Fatal("Instructions should count the memory op itself")
+	}
+}

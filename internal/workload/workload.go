@@ -1,0 +1,281 @@
+// Package workload generates the CPU traces that drive the system-level
+// evaluation, substituting for the paper's Pin-generated SPEC CPU2006, TPC
+// and MediaBench traces (which are not redistributable) and reproducing the
+// paper's 30 in-house synthetic random/stream traces directly.
+//
+// Each workload is a Profile: a named, deterministic generator parameterised
+// by the two properties the paper's conclusions depend on:
+//
+//   - memory intensity — controlled by BubbleMean (non-memory instructions
+//     per memory instruction) and the footprint relative to the 8 MiB LLC,
+//     which together set the MPKI class (paper §8.1: MPKI > 2.0 is
+//     memory-intensive);
+//   - page-access concentration — controlled by ZipfTheta, which sets how
+//     much of the access stream the top X% of pages capture. This drives the
+//     25/50/75/100% hot-page mapping scaling of Figure 12 (§8.2 obs. 4):
+//     near-uniform profiles (libquantum-like) scale almost linearly, heavily
+//     skewed profiles (soplex-like) saturate early.
+//
+// All generators are deterministic given (profile, seed).
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clrdram/internal/trace"
+)
+
+// PageBytes is the OS page size assumed throughout the model.
+const PageBytes = 4096
+
+// LineBytes is the cache line size (Table 2).
+const LineBytes = 64
+
+// LinesPerPage is the number of cache lines in a page.
+const LinesPerPage = PageBytes / LineBytes
+
+// Pattern selects the address-stream shape of a profile.
+type Pattern int
+
+// Supported access patterns.
+const (
+	// PatternStream walks the footprint sequentially one line at a time,
+	// wrapping at the end (the paper's "stream" synthetic traces: high row
+	// locality).
+	PatternStream Pattern = iota
+	// PatternRandom picks a page by popularity (Zipf) and a uniform line
+	// within it for every access (the paper's "random" traces: minimal row
+	// locality, frequent row-buffer conflicts).
+	PatternRandom
+	// PatternMixed interleaves sequential runs with popularity-driven
+	// jumps; StreamFrac controls the fraction of sequential accesses.
+	PatternMixed
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternStream:
+		return "stream"
+	case PatternRandom:
+		return "random"
+	case PatternMixed:
+		return "mixed"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile describes one workload generator.
+type Profile struct {
+	Name           string
+	Pattern        Pattern
+	FootprintPages int     // working-set size in 4 KiB pages
+	ZipfTheta      float64 // page-popularity skew; 0 = uniform
+	BubbleMean     int     // mean non-memory instructions per memory access
+	WriteFrac      float64 // fraction of memory accesses that are stores
+	StreamFrac     float64 // PatternMixed: fraction of sequential accesses
+	StrideLines    int     // PatternStream: lines advanced per access (≥1)
+	Synthetic      bool    // true for the 30 in-house random/stream traces
+	MemIntensive   bool    // paper classification: MPKI > 2.0
+
+	// Records, when non-nil, replaces the synthetic generator: NewReader
+	// replays these records in a loop (trace-file workloads, cmd/tracegen
+	// round-trips). The popularity helpers (PageWeights, Coverage...) are
+	// undefined for record-backed profiles.
+	Records []trace.Record
+}
+
+// FromRecords wraps a captured trace as a Profile. The footprint is derived
+// from the highest page touched.
+func FromRecords(name string, records []trace.Record) (Profile, error) {
+	if len(records) == 0 {
+		return Profile{}, fmt.Errorf("workload: empty trace %q", name)
+	}
+	var maxPage uint64
+	for _, r := range records {
+		if p := r.Addr / PageBytes; p > maxPage {
+			maxPage = p
+		}
+	}
+	return Profile{
+		Name:           name,
+		FootprintPages: int(maxPage) + 1,
+		Records:        records,
+	}, nil
+}
+
+// FootprintBytes returns the workload's address-space footprint in bytes.
+func (p Profile) FootprintBytes() uint64 {
+	return uint64(p.FootprintPages) * PageBytes
+}
+
+// permutation returns the deterministic rank→page scattering for this
+// profile. Popularity rank r (0 = hottest) maps to page perm[r], so that hot
+// pages are spread across the footprint instead of clustering at low
+// addresses (which would conflate popularity with spatial locality).
+func (p Profile) permutation() []int {
+	h := fnv.New64a()
+	h.Write([]byte(p.Name))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return rng.Perm(p.FootprintPages)
+}
+
+// PageWeights returns the unnormalised popularity weight of every page in
+// the footprint (indexed by page number). Weight of the page at popularity
+// rank r is 1/(r+1)^ZipfTheta.
+func (p Profile) PageWeights() []float64 {
+	w := make([]float64, p.FootprintPages)
+	perm := p.permutation()
+	for r := 0; r < p.FootprintPages; r++ {
+		w[perm[r]] = math.Pow(float64(r+1), -p.ZipfTheta)
+	}
+	return w
+}
+
+// CoverageOfTopFraction returns the fraction of page-granularity accesses
+// captured by the top `frac` most popular pages (analytically, from the
+// generator's weights). This is the quantity behind the paper's §8.2
+// scaling observation (e.g. libquantum-like top 25% ≈ 26%, soplex-like top
+// 25% ≈ 85%).
+func (p Profile) CoverageOfTopFraction(frac float64) float64 {
+	if p.FootprintPages == 0 {
+		return 0
+	}
+	n := int(math.Round(frac * float64(p.FootprintPages)))
+	if n <= 0 {
+		return 0
+	}
+	if n >= p.FootprintPages {
+		return 1
+	}
+	// Ranks are already sorted by construction: rank r has weight
+	// 1/(r+1)^theta.
+	var top, total float64
+	for r := 0; r < p.FootprintPages; r++ {
+		w := math.Pow(float64(r+1), -p.ZipfTheta)
+		total += w
+		if r < n {
+			top += w
+		}
+	}
+	return top / total
+}
+
+// HottestPages returns page numbers sorted from most to least popular —
+// ground truth for validating the profiling-based mapper.
+func (p Profile) HottestPages() []int {
+	w := p.PageWeights()
+	pages := make([]int, len(w))
+	for i := range pages {
+		pages[i] = i
+	}
+	sort.SliceStable(pages, func(a, b int) bool { return w[pages[a]] > w[pages[b]] })
+	return pages
+}
+
+// generator is the Reader implementation behind NewReader.
+type generator struct {
+	p      Profile
+	rng    *rand.Rand
+	cum    []float64 // cumulative page weights for Zipf sampling
+	total  float64
+	pos    uint64 // current line index for sequential runs
+	stride uint64
+}
+
+// NewReader returns an infinite trace.Reader for the profile. Readers with
+// the same profile and seed produce identical streams. Record-backed
+// profiles replay their records in a loop (the seed is ignored).
+func (p Profile) NewReader(seed int64) trace.Reader {
+	if p.Records != nil {
+		return &trace.SliceReader{Records: p.Records, Loop: true}
+	}
+	if p.FootprintPages <= 0 {
+		panic("workload: profile with empty footprint: " + p.Name)
+	}
+	g := &generator{
+		p:      p,
+		rng:    rand.New(rand.NewSource(seed ^ int64(nameHash(p.Name)))),
+		stride: 1,
+	}
+	if p.StrideLines > 0 {
+		g.stride = uint64(p.StrideLines)
+	}
+	if p.Pattern != PatternStream {
+		w := p.PageWeights()
+		g.cum = make([]float64, len(w))
+		sum := 0.0
+		for i, x := range w {
+			sum += x
+			g.cum[i] = sum
+		}
+		g.total = sum
+	}
+	return g
+}
+
+func nameHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// samplePage draws a page according to the popularity distribution.
+func (g *generator) samplePage() int {
+	r := g.rng.Float64() * g.total
+	// First cumulative value ≥ r.
+	lo, hi := 0, len(g.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// bubble draws the non-memory instruction count before the next access:
+// uniform in [BubbleMean/2, 3*BubbleMean/2] (mean = BubbleMean), or exactly
+// 0 when BubbleMean is 0.
+func (g *generator) bubble() int {
+	m := g.p.BubbleMean
+	if m <= 0 {
+		return 0
+	}
+	lo := m / 2
+	return lo + g.rng.Intn(m+1)
+}
+
+// Next implements trace.Reader; it never returns an error.
+func (g *generator) Next() (trace.Record, error) {
+	totalLines := uint64(g.p.FootprintPages) * LinesPerPage
+	var line uint64
+	switch g.p.Pattern {
+	case PatternStream:
+		line = g.pos
+		g.pos = (g.pos + g.stride) % totalLines
+	case PatternRandom:
+		page := g.samplePage()
+		line = uint64(page)*LinesPerPage + uint64(g.rng.Intn(LinesPerPage))
+	case PatternMixed:
+		if g.rng.Float64() < g.p.StreamFrac {
+			g.pos = (g.pos + 1) % totalLines
+		} else {
+			page := g.samplePage()
+			g.pos = uint64(page)*LinesPerPage + uint64(g.rng.Intn(LinesPerPage))
+		}
+		line = g.pos
+	}
+	return trace.Record{
+		Bubble: g.bubble(),
+		Addr:   line * LineBytes,
+		Write:  g.rng.Float64() < g.p.WriteFrac,
+	}, nil
+}

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"clrdram/internal/trace"
+)
+
+func TestInventoryMatchesPaper(t *testing.T) {
+	if n := len(Real()); n != 41 {
+		t.Fatalf("Real() has %d profiles, want 41 (paper §8.1)", n)
+	}
+	if n := len(Synthetic()); n != 30 {
+		t.Fatalf("Synthetic() has %d profiles, want 30", n)
+	}
+	if n := len(All()); n != 71 {
+		t.Fatalf("All() has %d profiles, want 71", n)
+	}
+	intensive := 0
+	for _, p := range Real() {
+		if p.MemIntensive {
+			intensive++
+		}
+	}
+	if intensive != 17 {
+		t.Fatalf("%d memory-intensive real profiles, want 17 (Fig. 12 detail set)", intensive)
+	}
+}
+
+func TestProfileNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.FootprintPages <= 0 {
+			t.Fatalf("%s has empty footprint", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("429.mcf-like")
+	if !ok || p.Name != "429.mcf-like" {
+		t.Fatal("ByName failed for known profile")
+	}
+	if _, ok := ByName("does-not-exist"); ok {
+		t.Fatal("ByName found a nonexistent profile")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("429.mcf-like")
+	a, _ := trace.Collect(p.NewReader(42), 500)
+	b, _ := trace.Collect(p.NewReader(42), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, _ := trace.Collect(p.NewReader(43), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAddressesStayInFootprint(t *testing.T) {
+	for _, p := range All() {
+		recs, _ := trace.Collect(p.NewReader(1), 200)
+		for _, r := range recs {
+			if r.Addr >= p.FootprintBytes() {
+				t.Fatalf("%s: address %#x outside footprint %#x", p.Name, r.Addr, p.FootprintBytes())
+			}
+			if r.Bubble < 0 {
+				t.Fatalf("%s: negative bubble", p.Name)
+			}
+		}
+	}
+}
+
+func TestStreamPatternIsSequential(t *testing.T) {
+	p := Profile{Name: "t-stream", Pattern: PatternStream, FootprintPages: 16, BubbleMean: 0}
+	recs, _ := trace.Collect(p.NewReader(1), LinesPerPage*16+5)
+	for i := 1; i < LinesPerPage*16; i++ {
+		if recs[i].Addr != recs[i-1].Addr+LineBytes {
+			t.Fatalf("stream not sequential at %d: %#x after %#x", i, recs[i].Addr, recs[i-1].Addr)
+		}
+	}
+	// Wraps back to the start.
+	if recs[LinesPerPage*16].Addr != recs[0].Addr {
+		t.Fatal("stream did not wrap at footprint end")
+	}
+}
+
+func TestStreamStride(t *testing.T) {
+	p := Profile{Name: "t-stride", Pattern: PatternStream, FootprintPages: 16, StrideLines: 4}
+	recs, _ := trace.Collect(p.NewReader(1), 10)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Addr-recs[i-1].Addr != 4*LineBytes {
+			t.Fatalf("stride 4 not respected: %#x → %#x", recs[i-1].Addr, recs[i].Addr)
+		}
+	}
+}
+
+func TestBubbleMeanApproximatelyRespected(t *testing.T) {
+	p := Profile{Name: "t-bubble", Pattern: PatternRandom, FootprintPages: 64, BubbleMean: 20}
+	recs, _ := trace.Collect(p.NewReader(7), 5000)
+	sum := 0
+	for _, r := range recs {
+		sum += r.Bubble
+	}
+	mean := float64(sum) / float64(len(recs))
+	if math.Abs(mean-20) > 2 {
+		t.Fatalf("bubble mean = %.2f, want ≈20", mean)
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p := Profile{Name: "t-writes", Pattern: PatternRandom, FootprintPages: 64, WriteFrac: 0.3}
+	recs, _ := trace.Collect(p.NewReader(7), 10000)
+	w := 0
+	for _, r := range recs {
+		if r.Write {
+			w++
+		}
+	}
+	frac := float64(w) / float64(len(recs))
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Fatalf("write fraction = %.3f, want ≈0.30", frac)
+	}
+}
+
+func TestZipfConcentrationAnchors(t *testing.T) {
+	// The paper's §8.2 anecdotes: libquantum's top 25% of pages capture
+	// ≈26.4% of accesses; soplex's capture ≈85.2%.
+	lib, _ := ByName("462.libquantum-like")
+	if c := lib.CoverageOfTopFraction(0.25); math.Abs(c-0.264) > 0.05 {
+		t.Errorf("libquantum-like top-25%% coverage = %.3f, want ≈0.264", c)
+	}
+	sop, _ := ByName("450.soplex-like")
+	if c := sop.CoverageOfTopFraction(0.25); math.Abs(c-0.852) > 0.06 {
+		t.Errorf("soplex-like top-25%% coverage = %.3f, want ≈0.852", c)
+	}
+}
+
+func TestCoverageMonotoneAndBounded(t *testing.T) {
+	p, _ := ByName("450.soplex-like")
+	last := 0.0
+	for _, f := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1.0} {
+		c := p.CoverageOfTopFraction(f)
+		if c < last-1e-12 || c < 0 || c > 1 {
+			t.Fatalf("coverage not monotone in [0,1]: f=%v c=%v last=%v", f, c, last)
+		}
+		last = c
+	}
+	if c := p.CoverageOfTopFraction(1.0); math.Abs(c-1.0) > 1e-9 {
+		t.Fatalf("full coverage = %v, want 1", c)
+	}
+}
+
+func TestZipfSamplingMatchesWeights(t *testing.T) {
+	// Empirical page frequencies from the generator should approximate the
+	// analytic CoverageOfTopFraction.
+	p := Profile{Name: "t-zipf", Pattern: PatternRandom, FootprintPages: 256, ZipfTheta: 1.0}
+	recs, _ := trace.Collect(p.NewReader(3), 60000)
+	counts := make([]int, p.FootprintPages)
+	for _, r := range recs {
+		counts[r.Addr/PageBytes]++
+	}
+	hot := p.HottestPages()
+	top := 0
+	n := p.FootprintPages / 4
+	for _, pg := range hot[:n] {
+		top += counts[pg]
+	}
+	empirical := float64(top) / float64(len(recs))
+	analytic := p.CoverageOfTopFraction(0.25)
+	if math.Abs(empirical-analytic) > 0.04 {
+		t.Fatalf("empirical top-25%% coverage %.3f vs analytic %.3f", empirical, analytic)
+	}
+}
+
+func TestHottestPagesOrdering(t *testing.T) {
+	p := Profile{Name: "t-order", Pattern: PatternRandom, FootprintPages: 64, ZipfTheta: 0.8}
+	w := p.PageWeights()
+	hot := p.HottestPages()
+	for i := 1; i < len(hot); i++ {
+		if w[hot[i-1]] < w[hot[i]] {
+			t.Fatal("HottestPages not sorted by weight")
+		}
+	}
+}
+
+func TestMixGroups(t *testing.T) {
+	groups := MixGroups(1, 30)
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups, got %d", len(groups))
+	}
+	for g, mixes := range groups {
+		if len(mixes) != 30 {
+			t.Fatalf("group %s has %d mixes, want 30", g, len(mixes))
+		}
+		for _, m := range mixes {
+			intensive := 0
+			for _, p := range m.Profiles {
+				if p.Name == "" {
+					t.Fatalf("group %s mix %s has empty slot", g, m.Name)
+				}
+				if p.MemIntensive {
+					intensive++
+				}
+			}
+			want := map[string]int{GroupL: 0, GroupM: 2, GroupH: 4}[g]
+			if intensive != want {
+				t.Fatalf("group %s mix %s has %d intensive apps, want %d", g, m.Name, intensive, want)
+			}
+		}
+	}
+	// Determinism.
+	a := MixGroups(7, 5)
+	b := MixGroups(7, 5)
+	for g := range a {
+		for i := range a[g] {
+			for k := 0; k < 4; k++ {
+				if a[g][i].Profiles[k].Name != b[g][i].Profiles[k].Name {
+					t.Fatal("MixGroups not deterministic")
+				}
+			}
+		}
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []trace.Record{
+		{Bubble: 2, Addr: 0x1000},
+		{Bubble: 0, Addr: 0x9000, Write: true},
+	}
+	p, err := FromRecords("captured", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FootprintPages != 10 { // highest page is 9 (0x9000/4096)
+		t.Fatalf("FootprintPages = %d, want 10", p.FootprintPages)
+	}
+	rd := p.NewReader(123)
+	a, _ := rd.Next()
+	b, _ := rd.Next()
+	c, _ := rd.Next() // loops back
+	if a != recs[0] || b != recs[1] || c != recs[0] {
+		t.Fatalf("replay wrong: %+v %+v %+v", a, b, c)
+	}
+	if _, err := FromRecords("empty", nil); err == nil {
+		t.Fatal("empty trace must be rejected")
+	}
+}

@@ -1,0 +1,20 @@
+# Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds go vet and
+# the race detector over the full suite — required on every PR now that the
+# experiment engine fans simulations out across goroutines.
+
+.PHONY: all tier1 race check bench
+
+all: check
+
+tier1:
+	go build ./...
+	go test ./...
+
+race:
+	go vet ./...
+	go test -race ./...
+
+check: tier1 race
+
+bench:
+	go test -bench=. -benchmem -run=^$$ .

@@ -10,11 +10,13 @@ package clrdram
 // (speedup, reduction) alongside ns/op.
 
 import (
+	"context"
 	"testing"
 
 	"clrdram/internal/cache"
 	"clrdram/internal/core"
 	"clrdram/internal/dram"
+	"clrdram/internal/engine"
 	"clrdram/internal/mem"
 	"clrdram/internal/sim"
 	"clrdram/internal/spice"
@@ -357,6 +359,47 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// --- internal/engine: serial vs parallel experiment execution ---
+//
+// The serial/parallel pairs below share identical work (and, by the
+// engine's determinism contract, identical results); BENCH_*.json diffs
+// capture the speedup trajectory as core counts grow. At 4+ cores the
+// parallel variants should run ≥ 2× faster; on a single-core host they
+// degenerate to the serial cost plus negligible pool overhead.
+
+const benchMCIters = 8
+
+func benchMonteCarlo(b *testing.B, workers int) {
+	p := spice.Default()
+	for i := 0; i < b.N; i++ {
+		if _, err := spice.MonteCarloPool(context.Background(), engine.NewPool(workers),
+			p, spice.ModeHighPerf, benchMCIters, 1, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloSerial(b *testing.B)   { benchMonteCarlo(b, 1) }
+func BenchmarkMonteCarloParallel(b *testing.B) { benchMonteCarlo(b, 0) } // 0 = GOMAXPROCS
+
+func benchFig12Workers(b *testing.B, workers int) {
+	profiles := []workload.Profile{
+		benchProfile("429.mcf-like"),
+		benchProfile("random_00"),
+		benchProfile("stream_00"),
+	}
+	opts := benchOpts()
+	opts.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFig12(profiles, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Serial(b *testing.B)   { benchFig12Workers(b, 1) }
+func BenchmarkFig12Parallel(b *testing.B) { benchFig12Workers(b, 0) } // 0 = GOMAXPROCS
 
 // --- §9: related-design comparison ---
 

@@ -12,8 +12,11 @@
 //
 // Scaling knobs: -instructions (per core), -profiles (cap the single-core
 // workload count), -mixes (mixes per L/M/H group). The paper's full scale
-// (200 M instructions, 71 workloads, 30 mixes per group) is reachable but
-// slow; defaults favour minutes-scale runs with the same result shapes.
+// (200 M instructions, 71 workloads, 30 mixes per group) is reachable; all
+// sweeps fan out across -workers goroutines (default: one per CPU) with
+// bit-identical results at every worker count, and -checkpoint DIR
+// persists completed shards so an interrupted run resumes where it left
+// off. Defaults favour minutes-scale runs with the same result shapes.
 package main
 
 import (
@@ -21,9 +24,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"clrdram/internal/core"
+	"clrdram/internal/engine"
 	"clrdram/internal/sim"
 	"clrdram/internal/spice"
 	"clrdram/internal/workload"
@@ -48,6 +53,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		mcIters   = flag.Int("iters", 100, "circuit Monte Carlo iterations for -table1")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for experiment shards")
+		ckptDir   = flag.String("checkpoint", "", "persist completed shards into this directory and resume from it")
 	)
 	flag.Parse()
 	if *all {
@@ -62,6 +69,15 @@ func main() {
 	opts.TargetInstructions = *instrs
 	opts.WarmupRecords = *warmup
 	opts.Seed = *seed
+	opts.Workers = *workers
+	opts.Progress = progressLine
+	if *ckptDir != "" {
+		store, err := engine.NewStore(*ckptDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Checkpoint = store
+	}
 
 	profiles := workload.All()
 	if *nprof > 0 && *nprof < len(profiles) {
@@ -73,7 +89,7 @@ func main() {
 		fmt.Println("Paper's published values:")
 		fmt.Print(sim.Table1(core.DefaultTable()))
 		fmt.Printf("\nRegenerated from the circuit model (%d MC iterations):\n", *mcIters)
-		tab, err := spice.BuildTimingTable(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed})
+		tab, err := spice.BuildTimingTable(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -235,7 +251,7 @@ func main() {
 	if *compare {
 		fmt.Println("==================== §9 Related-design comparison ====================")
 		fmt.Println("Circuit-level timings (this repo's comparison topologies):")
-		alt, err := spice.BuildAlternativeTimings(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed})
+		alt, err := spice.BuildAlternativeTimings(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -328,6 +344,15 @@ func printRows(f sim.Fig12Result) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
+}
+
+// progressLine keeps a live shard counter on stderr; each driver restarts
+// it with that sweep's total.
+func progressLine(done, total int) {
+	fmt.Fprintf(os.Stderr, "\r  %d/%d shards", done, total)
+	if done == total {
+		fmt.Fprintln(os.Stderr)
+	}
 }
 
 // writeCSV writes one figure's CSV into dir (no-op when dir is empty).

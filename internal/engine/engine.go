@@ -1,0 +1,155 @@
+// Package engine is the experiment-execution subsystem: a deterministic
+// parallel job engine for the embarrassingly-parallel workloads of the
+// evaluation — Monte Carlo circuit sweeps (§7.1), the 71-workload
+// single-core sweep (Figure 12), the multiprogrammed-mix sweep (Figure 13)
+// and the refresh-fraction sweep (Figure 15).
+//
+// Determinism contract: a task's result may depend only on its input item,
+// its index, and a seed derived from (baseSeed, index) via DeriveSeed —
+// never on worker identity, scheduling order, or shared mutable state.
+// Under that contract Map returns results that are bit-identical to a
+// serial run regardless of the worker count, and any order-insensitive
+// reduction (max, sum, map assembly) over them is likewise identical.
+//
+// The three layers:
+//
+//   - Pool + Map/ForEach: bounded fan-out with context cancellation,
+//     first-error propagation and panic capture, preserving input order;
+//   - DeriveSeed/SplitMix64: per-task seed streams that do not change when
+//     the iteration space is sharded differently;
+//   - Store + MapCheckpointed: sharded JSON persistence so an interrupted
+//     paper-scale run resumes from its completed shards.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Progress receives (done, total) after each task completes. Calls are
+// serialized by the engine (never concurrent), done is strictly increasing,
+// and the final call of an error-free run has done == total.
+type Progress func(done, total int)
+
+// Pool bounds the number of concurrently running tasks. The zero worker
+// count (or a nil *Pool passed to Map/ForEach) means runtime.GOMAXPROCS(0).
+// A Pool is a reusable width-plus-hooks configuration, not a set of live
+// goroutines: each Map call spawns and joins its own workers.
+type Pool struct {
+	workers  int
+	progress Progress
+}
+
+// NewPool returns a pool running at most workers tasks at once;
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// WithProgress returns a copy of the pool that reports task completion
+// through fn.
+func (p *Pool) WithProgress(fn Progress) *Pool {
+	q := *p
+	q.progress = fn
+	return &q
+}
+
+// Map runs fn over every item on the pool and returns the results in input
+// order. On failure it returns the error of the lowest-indexed task that
+// was observed to fail (task panics are captured and surfaced as errors),
+// after cancelling the task context and waiting for in-flight tasks to
+// drain; tasks not yet started are skipped. If ctx is cancelled mid-run,
+// Map stops promptly and returns ctx.Err().
+func Map[I, O any](ctx context.Context, pool *Pool, items []I, fn func(ctx context.Context, index int, item I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+	if pool == nil {
+		pool = NewPool(0)
+	}
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := pool.workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIndex = -1
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || tctx.Err() != nil {
+					return
+				}
+				res, err := runTask(tctx, i, items[i], fn)
+				mu.Lock()
+				if err != nil {
+					if errIndex < 0 || i < errIndex {
+						errIndex, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				out[i] = res
+				done++
+				if pool.progress != nil {
+					pool.progress(done, len(items))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if errIndex >= 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runTask invokes fn with panic capture, so one panicking task surfaces as
+// an error instead of killing the process (and cannot deadlock the pool).
+func runTask[I, O any](ctx context.Context, i int, item I, fn func(ctx context.Context, index int, item I) (O, error)) (res O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: task %d panicked: %v", i, r)
+		}
+	}()
+	return fn(ctx, i, item)
+}
+
+// ForEach is Map without results.
+func ForEach[I any](ctx context.Context, pool *Pool, items []I, fn func(ctx context.Context, index int, item I) error) error {
+	_, err := Map(ctx, pool, items, func(ctx context.Context, i int, item I) (struct{}, error) {
+		return struct{}{}, fn(ctx, i, item)
+	})
+	return err
+}

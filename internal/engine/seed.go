@@ -1,0 +1,26 @@
+package engine
+
+// splitmix64Gamma is the golden-ratio increment of the splitmix64 stream
+// (Steele, Lea & Flood, "Fast Splittable Pseudorandom Number Generators").
+const splitmix64Gamma = 0x9E3779B97F4A7C15
+
+// SplitMix64 applies the splitmix64 finalizer to x: a cheap bijective
+// avalanche mix, so consecutive inputs produce decorrelated outputs.
+func SplitMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed returns the seed for task `index` of a campaign anchored at
+// base: SplitMix64(base ^ (index+1)·gamma). The derived seed depends only
+// on (base, index), so a campaign sharded across any number of workers
+// draws exactly the variate streams a serial run would — the foundation of
+// the engine's determinism contract. The index is offset by one so that
+// DeriveSeed(base, 0) differs from a bare SplitMix64(base).
+func DeriveSeed(base int64, index int) int64 {
+	return int64(SplitMix64(uint64(base) ^ (uint64(index)+1)*splitmix64Gamma))
+}

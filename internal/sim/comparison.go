@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"context"
+	"fmt"
+
 	"clrdram/internal/core"
+	"clrdram/internal/engine"
 	"clrdram/internal/workload"
 )
 
@@ -27,37 +31,74 @@ func RunComparison(profiles []workload.Profile, clrFraction float64, opts Option
 	if err != nil {
 		return nil, err
 	}
-	// Baselines per profile.
-	baseIPC := make([]float64, len(profiles))
-	baseEnergy := make([]float64, len(profiles))
-	for i, p := range profiles {
-		res, err := RunSingle(p, core.Baseline(), opts)
-		if err != nil {
-			return nil, err
-		}
-		baseIPC[i] = res.PerCore[0].IPC()
-		baseEnergy[i] = res.Energy.Total()
+	ctx := context.Background()
+	pool := opts.pool()
+	store := opts.shardStore(fmt.Sprintf("compare-frac%v", clrFraction))
+
+	// Baselines per profile, fanned out.
+	type baseRes struct {
+		IPC, Energy float64
 	}
-	var out []ComparisonRow
-	for _, alt := range alts {
-		cfg := alt.Config()
-		var ipc, energy []float64
-		for i, p := range profiles {
-			res, err := RunSingle(p, cfg, opts)
+	bases, err := engine.MapCheckpointed(ctx, pool, store, profiles,
+		func(_ int, p workload.Profile) string { return "base-" + p.Name },
+		func(_ context.Context, _ int, p workload.Profile) (baseRes, error) {
+			res, err := RunSingle(p, core.Baseline(), opts)
 			if err != nil {
-				return nil, err
+				return baseRes{}, err
 			}
-			ipc = append(ipc, res.PerCore[0].IPC()/baseIPC[i])
-			energy = append(energy, res.Energy.Total()/baseEnergy[i])
+			return baseRes{res.PerCore[0].IPC(), res.Energy.Total()}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// One shard per (design, profile) pair for even load balance, reduced
+	// per design afterwards (geometric means are order-stable: the inputs
+	// are assembled in profile order regardless of completion order).
+	type pairKey struct {
+		ai, pi int
+	}
+	type ratios struct {
+		IPC, Energy float64
+	}
+	var keys []pairKey
+	for ai := range alts {
+		for pi := range profiles {
+			keys = append(keys, pairKey{ai, pi})
 		}
-		out = append(out, ComparisonRow{
+	}
+	pairs, err := engine.MapCheckpointed(ctx, pool, store, keys,
+		func(_ int, k pairKey) string { return alts[k.ai].Name + "-" + profiles[k.pi].Name },
+		func(_ context.Context, _ int, k pairKey) (ratios, error) {
+			res, err := RunSingle(profiles[k.pi], alts[k.ai].Config(), opts)
+			if err != nil {
+				return ratios{}, err
+			}
+			return ratios{
+				IPC:    res.PerCore[0].IPC() / bases[k.pi].IPC,
+				Energy: res.Energy.Total() / bases[k.pi].Energy,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]ComparisonRow, len(alts))
+	ipc := make([][]float64, len(alts))
+	energy := make([][]float64, len(alts))
+	for ki, k := range keys {
+		ipc[k.ai] = append(ipc[k.ai], pairs[ki].IPC)
+		energy[k.ai] = append(energy[k.ai], pairs[ki].Energy)
+	}
+	for ai, alt := range alts {
+		out[ai] = ComparisonRow{
 			Name:           alt.Name,
 			Design:         alt.Design,
-			NormIPC:        safeGeo(ipc),
-			NormEnergy:     safeGeo(energy),
+			NormIPC:        safeGeo(ipc[ai]),
+			NormEnergy:     safeGeo(energy[ai]),
 			CapacityFactor: alt.CapacityFactor,
 			Dynamic:        alt.Dynamic,
-		})
+		}
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"clrdram/internal/cache"
 	"clrdram/internal/cpu"
 	"clrdram/internal/dram"
+	"clrdram/internal/engine"
 	"clrdram/internal/mem"
 	"clrdram/internal/power"
 )
@@ -42,6 +43,22 @@ type Options struct {
 	// MaxCPUCycles bounds a run defensively; 0 derives a generous bound
 	// from TargetInstructions.
 	MaxCPUCycles int64
+
+	// Workers bounds the experiment-level parallelism of the sweep drivers
+	// (RunFig12/13/15, RunComparison, AloneIPCs): independent simulations
+	// fan out across this many goroutines. 0 means runtime.GOMAXPROCS(0).
+	// Results are bit-identical at every worker count (every run is
+	// internally seeded from Options.Seed; see internal/engine).
+	Workers int
+	// Progress, when non-nil, receives (done, total) after each completed
+	// experiment shard. Calls are serialized; drivers report one shard per
+	// unit of fan-out (a workload row, a mix, a sweep cell).
+	Progress engine.Progress
+	// Checkpoint, when non-nil, persists completed experiment shards as
+	// JSON so an interrupted sweep resumes instead of restarting. Drivers
+	// namespace their shards by run-shaping parameters, so a store can be
+	// shared across drivers and differently-configured runs.
+	Checkpoint *engine.Store
 
 	CPU    cpu.Config
 	LLC    cache.Config

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"clrdram/internal/core"
+	"clrdram/internal/engine"
 	"clrdram/internal/stats"
 	"clrdram/internal/workload"
 )
@@ -52,39 +55,54 @@ type Fig12Result struct {
 
 // RunFig12 reproduces Figure 12 (and the single-core half of Figure 14):
 // normalized IPC, DRAM energy and DRAM power for every workload at each
-// high-performance row fraction.
+// high-performance row fraction. Workload rows are independent shards on
+// the experiment engine: they fan out across Options.Workers goroutines
+// (bit-identical results at any worker count), report through
+// Options.Progress, and persist to Options.Checkpoint.
 func RunFig12(profiles []workload.Profile, opts Options) (Fig12Result, error) {
 	var out Fig12Result
-	n := len(HPFractions)
-	for _, p := range profiles {
-		base, err := RunSingle(p, core.Baseline(), opts)
-		if err != nil {
-			return out, err
-		}
-		row := SingleRow{
-			Name:         p.Name,
-			MemIntensive: p.MemIntensive,
-			Synthetic:    p.Synthetic,
-			Pattern:      p.Pattern,
-			BaselineIPC:  base.PerCore[0].IPC(),
-			MPKI:         base.PerCore[0].MPKI(),
-			NormIPC:      make([]float64, n),
-			NormEnergy:   make([]float64, n),
-			NormPower:    make([]float64, n),
-		}
-		for i, frac := range HPFractions {
-			res, err := RunSingle(p, configFor(frac, 64), opts)
-			if err != nil {
-				return out, err
-			}
-			row.NormIPC[i] = res.PerCore[0].IPC() / row.BaselineIPC
-			row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
-			row.NormPower[i] = res.PowerMW / base.PowerMW
-		}
-		out.Rows = append(out.Rows, row)
+	rows, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("fig12"),
+		profiles,
+		func(_ int, p workload.Profile) string { return p.Name },
+		func(_ context.Context, _ int, p workload.Profile) (SingleRow, error) {
+			return fig12Row(p, opts)
+		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	out.aggregate()
 	return out, nil
+}
+
+// fig12Row runs one workload's baseline plus the full HP-fraction sweep.
+func fig12Row(p workload.Profile, opts Options) (SingleRow, error) {
+	n := len(HPFractions)
+	base, err := RunSingle(p, core.Baseline(), opts)
+	if err != nil {
+		return SingleRow{}, err
+	}
+	row := SingleRow{
+		Name:         p.Name,
+		MemIntensive: p.MemIntensive,
+		Synthetic:    p.Synthetic,
+		Pattern:      p.Pattern,
+		BaselineIPC:  base.PerCore[0].IPC(),
+		MPKI:         base.PerCore[0].MPKI(),
+		NormIPC:      make([]float64, n),
+		NormEnergy:   make([]float64, n),
+		NormPower:    make([]float64, n),
+	}
+	for i, frac := range HPFractions {
+		res, err := RunSingle(p, configFor(frac, 64), opts)
+		if err != nil {
+			return SingleRow{}, err
+		}
+		row.NormIPC[i] = res.PerCore[0].IPC() / row.BaselineIPC
+		row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
+		row.NormPower[i] = res.PowerMW / base.PowerMW
+	}
+	return row, nil
 }
 
 // aggregate fills the geometric-mean series.
@@ -181,15 +199,30 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 		return out, err
 	}
 	n := len(HPFractions)
+	// One shard per mix, fanned out on the engine; `alone` is read-only
+	// from here on, so sharing it across shards is safe.
+	type mixTask struct {
+		Group string
+		Mix   workload.Mix
+	}
+	var tasks []mixTask
 	for _, g := range groupNames {
 		for _, m := range groups[g] {
+			tasks = append(tasks, mixTask{Group: g, Mix: m})
+		}
+	}
+	rows, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("fig13"),
+		tasks,
+		func(_ int, t mixTask) string { return t.Group + "-" + t.Mix.Name },
+		func(_ context.Context, _ int, t mixTask) (MixRow, error) {
+			m := t.Mix
 			base, err := RunMix(m, core.Baseline(), opts)
 			if err != nil {
-				return out, err
+				return MixRow{}, err
 			}
 			baseWS := WeightedSpeedup(base, m, alone)
 			row := MixRow{
-				Name: m.Name, Group: g,
+				Name: m.Name, Group: t.Group,
 				NormWS:     make([]float64, n),
 				NormEnergy: make([]float64, n),
 				NormPower:  make([]float64, n),
@@ -197,15 +230,18 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 			for i, frac := range HPFractions {
 				res, err := RunMix(m, configFor(frac, 64), opts)
 				if err != nil {
-					return out, err
+					return MixRow{}, err
 				}
 				row.NormWS[i] = WeightedSpeedup(res, m, alone) / baseWS
 				row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
 				row.NormPower[i] = res.PowerMW / base.PowerMW
 			}
-			out.Rows = append(out.Rows, row)
-		}
+			return row, nil
+		})
+	if err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	// Aggregate.
 	out.GMeanWS = make([]float64, n)
 	out.GMeanEnergy = make([]float64, n)
@@ -252,50 +288,100 @@ type Fig15Row struct {
 // workloads (geometric means; refresh energy uses the arithmetic sum ratio
 // because per-workload refresh energy can be ~0 for short runs).
 func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([]Fig15Row, error) {
-	// Baselines per profile.
+	ctx := context.Background()
+	pool := opts.pool()
+	// Unlike the per-workload and per-mix drivers, a Figure 15 shard
+	// aggregates over the whole profile set, so the checkpoint namespace
+	// must pin the set's identity.
+	store := opts.shardStore("fig15-" + profileSetID(profiles))
+
+	// Baselines per profile, fanned out (one shard each).
 	type baseRes struct {
-		ipc     float64
-		energy  float64
-		refresh float64
+		IPC     float64
+		Energy  float64
+		Refresh float64
 	}
-	bases := make([]baseRes, len(profiles))
-	for i, p := range profiles {
-		b, err := RunSingle(p, core.Baseline(), opts)
-		if err != nil {
-			return nil, err
-		}
-		bases[i] = baseRes{b.PerCore[0].IPC(), b.Energy.Total(), b.Energy.Refresh}
+	bases, err := engine.MapCheckpointed(ctx, pool, store, profiles,
+		func(_ int, p workload.Profile) string { return "base-" + p.Name },
+		func(_ context.Context, _ int, p workload.Profile) (baseRes, error) {
+			b, err := RunSingle(p, core.Baseline(), opts)
+			if err != nil {
+				return baseRes{}, err
+			}
+			return baseRes{b.PerCore[0].IPC(), b.Energy.Total(), b.Energy.Refresh}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	var out []Fig15Row
-	for _, refw := range REFWSettings {
-		row := Fig15Row{
-			REFWms:      refw,
-			NormPerf:    make([]float64, len(fractions)),
-			NormEnergy:  make([]float64, len(fractions)),
-			NormRefresh: make([]float64, len(fractions)),
+
+	// One shard per (tREFW, fraction) cell; each cell sweeps the profiles
+	// serially and reduces to the figure's normalized aggregates.
+	type cellKey struct {
+		ri, fi int
+	}
+	type cell struct {
+		Perf, Energy, Refresh float64
+	}
+	var keys []cellKey
+	for ri := range REFWSettings {
+		for fi := range fractions {
+			keys = append(keys, cellKey{ri, fi})
 		}
-		for fi, frac := range fractions {
+	}
+	cells, err := engine.MapCheckpointed(ctx, pool, store, keys,
+		func(_ int, k cellKey) string {
+			return fmt.Sprintf("refw%v-frac%v", REFWSettings[k.ri], fractions[k.fi])
+		},
+		func(_ context.Context, _ int, k cellKey) (cell, error) {
+			refw, frac := REFWSettings[k.ri], fractions[k.fi]
 			var perf, energy []float64
 			var refSum, refBaseSum float64
 			for i, p := range profiles {
 				res, err := RunSingle(p, configFor(frac, refw), opts)
 				if err != nil {
-					return nil, err
+					return cell{}, err
 				}
-				perf = append(perf, res.PerCore[0].IPC()/bases[i].ipc)
-				energy = append(energy, res.Energy.Total()/bases[i].energy)
+				perf = append(perf, res.PerCore[0].IPC()/bases[i].IPC)
+				energy = append(energy, res.Energy.Total()/bases[i].Energy)
 				refSum += res.Energy.Refresh
-				refBaseSum += bases[i].refresh
+				refBaseSum += bases[i].Refresh
 			}
-			row.NormPerf[fi] = safeGeo(perf)
-			row.NormEnergy[fi] = safeGeo(energy)
+			c := cell{Perf: safeGeo(perf), Energy: safeGeo(energy)}
 			if refBaseSum > 0 {
-				row.NormRefresh[fi] = refSum / refBaseSum
+				c.Refresh = refSum / refBaseSum
 			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Fig15Row, len(REFWSettings))
+	for ri, refw := range REFWSettings {
+		out[ri] = Fig15Row{
+			REFWms:      refw,
+			NormPerf:    make([]float64, len(fractions)),
+			NormEnergy:  make([]float64, len(fractions)),
+			NormRefresh: make([]float64, len(fractions)),
 		}
-		out = append(out, row)
+	}
+	for ki, k := range keys {
+		out[k.ri].NormPerf[k.fi] = cells[ki].Perf
+		out[k.ri].NormEnergy[k.fi] = cells[ki].Energy
+		out[k.ri].NormRefresh[k.fi] = cells[ki].Refresh
 	}
 	return out, nil
+}
+
+// profileSetID fingerprints an ordered profile set for checkpoint
+// namespacing.
+func profileSetID(profiles []workload.Profile) string {
+	h := fnv.New64a()
+	for _, p := range profiles {
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum64())
 }
 
 // Table1 returns the timing-parameter table (paper Table 1) from the given

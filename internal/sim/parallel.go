@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"fmt"
+
+	"clrdram/internal/engine"
+)
+
+// pool builds the experiment-execution pool for one driver invocation.
+func (o Options) pool() *engine.Pool {
+	p := engine.NewPool(o.Workers)
+	if o.Progress != nil {
+		p = p.WithProgress(o.Progress)
+	}
+	return p
+}
+
+// shardStore namespaces the optional checkpoint store for one driver. The
+// namespace encodes every run-shaping option, so shards persisted by a
+// differently-configured run (other seed, instruction budget, channel
+// count, ...) are never reused. Nil when checkpointing is off.
+func (o Options) shardStore(driver string) *engine.Store {
+	d := o.withDefaults()
+	return o.Checkpoint.Sub(fmt.Sprintf("%s-seed%d-n%d-w%d-p%d-ch%d",
+		driver, d.Seed, d.TargetInstructions, d.WarmupRecords, d.ProfileRecords, d.Channels))
+}

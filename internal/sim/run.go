@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"clrdram/internal/core"
+	"clrdram/internal/engine"
 	"clrdram/internal/stats"
 	"clrdram/internal/workload"
 )
@@ -29,24 +31,40 @@ func RunMix(m workload.Mix, clr core.Config, opts Options) (Result, error) {
 
 // AloneIPCs computes the alone-run IPC of every profile in the mixes on the
 // baseline configuration (the denominator of weighted speedup). Results are
-// memoised by profile name.
+// memoised by profile name: the unique profiles are computed concurrently
+// on the experiment engine (one shard each), and the map is assembled only
+// after the fan-out barrier, so no shard ever touches shared state.
 func AloneIPCs(mixes []workload.Mix, opts Options) (map[string]float64, error) {
-	out := make(map[string]float64)
+	var unique []workload.Profile
+	seen := make(map[string]bool)
 	for _, m := range mixes {
 		for _, p := range m.Profiles {
-			if _, ok := out[p.Name]; ok {
-				continue
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				unique = append(unique, p)
 			}
+		}
+	}
+	ipcs, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("alone"),
+		unique,
+		func(_ int, p workload.Profile) string { return p.Name },
+		func(_ context.Context, _ int, p workload.Profile) (float64, error) {
 			res, err := RunSingle(p, core.Baseline(), opts)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			ipc := res.PerCore[0].IPC()
 			if ipc <= 0 {
-				return nil, fmt.Errorf("sim: alone IPC of %s is %v", p.Name, ipc)
+				return 0, fmt.Errorf("sim: alone IPC of %s is %v", p.Name, ipc)
 			}
-			out[p.Name] = ipc
-		}
+			return ipc, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(unique))
+	for i, p := range unique {
+		out[p.Name] = ipcs[i]
 	}
 	return out, nil
 }

@@ -1,9 +1,10 @@
 package spice
 
 import (
-	"fmt"
+	"context"
 
 	"clrdram/internal/dram"
+	"clrdram/internal/engine"
 )
 
 // AlternativeTimings holds calibrated nanosecond timings for the §9
@@ -20,13 +21,22 @@ type AlternativeTimings struct {
 
 // BuildAlternativeTimings extracts and calibrates timing parameters for
 // CLR-DRAM's high-performance mode and the three §9 comparison designs.
-// Monte Carlo worst case per design, like BuildTimingTable.
+// Monte Carlo worst case per design, like BuildTimingTable; the five
+// campaigns run as one flat batch on opts.Workers workers.
 func BuildAlternativeTimings(p Params, opts TableOptions) (*AlternativeTimings, error) {
 	opts = opts.withDefaults()
-	base, err := MonteCarlo(p, ModeBaseline, opts.Iterations, opts.Seed, opts.Sigma)
+	// Campaign order matters only for the seed offsets, which are kept as
+	// one per design, counted from opts.Seed.
+	modes := []Mode{ModeBaseline, ModeHighPerf, ModeTwinCell, ModeMCR, ModeTLNear}
+	specs := make([]mcSpec, len(modes))
+	for i, m := range modes {
+		specs[i] = mcSpec{Mode: m, Iters: opts.Iterations, Seed: opts.Seed + int64(i), Sigma: opts.Sigma}
+	}
+	raws, err := monteCarloMany(context.Background(), engine.NewPool(opts.Workers), p, specs)
 	if err != nil {
 		return nil, err
 	}
+	base := raws[0]
 	cal := CalibrateBaseline(base)
 	mk := func(raw RawTimings, et bool) dram.TimingNS {
 		t := dram.DDR4BaselineNS()
@@ -44,25 +54,12 @@ func BuildAlternativeTimings(p Params, opts TableOptions) (*AlternativeTimings, 
 	out := &AlternativeTimings{Source: "circuit-simulation"}
 	out.Baseline = mk(base, false)
 
-	type spec struct {
-		mode Mode
-		dst  *dram.TimingNS
-		et   bool
-	}
-	for i, sp := range []spec{
-		// Early termination is CLR-DRAM's optimisation (§3.5); the static
-		// designs restore fully.
-		{ModeHighPerf, &out.CLRHP, true},
-		{ModeTwinCell, &out.TwinCell, false},
-		{ModeMCR, &out.MCR, false},
-		{ModeTLNear, &out.TLNear, false},
-	} {
-		raw, err := MonteCarlo(p, sp.mode, opts.Iterations, opts.Seed+int64(i)+1, opts.Sigma)
-		if err != nil {
-			return nil, fmt.Errorf("spice: %v: %w", sp.mode, err)
-		}
-		*sp.dst = mk(raw, sp.et)
-	}
+	// Early termination is CLR-DRAM's optimisation (§3.5); the static
+	// designs restore fully.
+	out.CLRHP = mk(raws[1], true)
+	out.TwinCell = mk(raws[2], false)
+	out.MCR = mk(raws[3], false)
+	out.TLNear = mk(raws[4], false)
 	// CLR-DRAM's reduced refresh latency (§3.6); the static alternatives
 	// refresh at baseline tRFC (their activation path is not accelerated
 	// by coupled SAs/PUs — twin-cell gains retention, not tRFC).

@@ -1,11 +1,14 @@
 package spice
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 
 	"clrdram/internal/dram"
+	"clrdram/internal/engine"
 )
 
 // extractAll runs Extract for all three topologies with fresh cells.
@@ -134,6 +137,32 @@ func TestMonteCarloWorstCaseAndDeterminism(t *testing.T) {
 	}
 	if worst != again {
 		t.Error("Monte Carlo not deterministic for a fixed seed")
+	}
+}
+
+func TestMonteCarloParallelMatchesSerial(t *testing.T) {
+	// The engine's determinism contract applied to the §7.1 sweep: per-
+	// iteration derived seeds plus a commutative worst-case reduction make
+	// the result bit-identical at any worker count.
+	p := Default()
+	serial, err := MonteCarloPool(context.Background(), engine.NewPool(1), p, ModeHighPerf, 6, 7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MonteCarloPool(context.Background(), engine.NewPool(8), p, ModeHighPerf, 6, 7, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("workers=1 (%+v) and workers=8 (%+v) disagree", serial, parallel)
+	}
+}
+
+func TestMonteCarloCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MonteCarloPool(ctx, engine.NewPool(4), Default(), ModeHighPerf, 50, 1, 0.05); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

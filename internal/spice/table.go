@@ -1,11 +1,13 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"clrdram/internal/core"
 	"clrdram/internal/dram"
+	"clrdram/internal/engine"
 )
 
 // RawTimings are circuit-extracted operation latencies in seconds.
@@ -74,29 +76,96 @@ func Extract(p Params, mode Mode, initV float64) (RawTimings, error) {
 // timings are the worst case over all draws, and any draw that fails to
 // read the correct value is an error (the paper requires every iteration to
 // read correctly).
+//
+// Seed scheme: iteration 0 is the nominal (unperturbed) draw; iteration
+// i > 0 perturbs with a private rand.Rand seeded by engine.DeriveSeed(seed,
+// i) — splitmix64 of seed ^ (i+1)·gamma — instead of threading one shared
+// variate stream through all iterations. Each iteration's draw therefore
+// depends only on (seed, i), so sharding the iteration space across any
+// number of workers reproduces the serial variate streams exactly, and the
+// worst-case reduction (a commutative max) makes the result bit-identical
+// at every worker count.
 func MonteCarlo(p Params, mode Mode, iters int, seed int64, sigma float64) (RawTimings, error) {
-	if iters < 1 {
-		return RawTimings{}, fmt.Errorf("spice: Monte Carlo needs ≥1 iteration")
+	return MonteCarloPool(context.Background(), nil, p, mode, iters, seed, sigma)
+}
+
+// MonteCarloPool is MonteCarlo sharded across the pool's workers (nil pool:
+// one worker per CPU) with cancellation through ctx. See MonteCarlo for the
+// determinism contract.
+func MonteCarloPool(ctx context.Context, pool *engine.Pool, p Params, mode Mode, iters int, seed int64, sigma float64) (RawTimings, error) {
+	out, err := monteCarloMany(ctx, pool, p, []mcSpec{{Mode: mode, Iters: iters, Seed: seed, Sigma: sigma}})
+	if err != nil {
+		return RawTimings{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
-	var worst RawTimings
-	for i := 0; i < iters; i++ {
+	return out[0], nil
+}
+
+// mcSpec is one Monte Carlo campaign in a batched run.
+type mcSpec struct {
+	Mode  Mode
+	Iters int
+	Seed  int64
+	Sigma float64
+	// InitVFrac overrides the charged cell's starting voltage as a fraction
+	// of VDD; 0 means a freshly restored cell (RestoreFrac).
+	InitVFrac float64
+}
+
+// monteCarloMany runs several independent Monte Carlo campaigns as one flat
+// iteration list on the pool, so short campaigns don't serialize behind
+// long ones. Results are indexed like specs.
+func monteCarloMany(ctx context.Context, pool *engine.Pool, p Params, specs []mcSpec) ([]RawTimings, error) {
+	type task struct {
+		spec, iter int
+	}
+	var tasks []task
+	for si, sp := range specs {
+		if sp.Iters < 1 {
+			return nil, fmt.Errorf("spice: Monte Carlo needs ≥1 iteration")
+		}
+		for i := 0; i < sp.Iters; i++ {
+			tasks = append(tasks, task{si, i})
+		}
+	}
+	raws, err := engine.Map(ctx, pool, tasks, func(_ context.Context, _ int, t task) (RawTimings, error) {
+		sp := specs[t.spec]
 		q := p
-		if i > 0 { // iteration 0 is the nominal draw
-			q = p.Perturb(rng, sigma)
+		if t.iter > 0 { // iteration 0 is the nominal draw
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(sp.Seed, t.iter)))
+			q = p.Perturb(rng, sp.Sigma)
 		}
-		raw, err := Extract(q, mode, q.RestoreFrac*q.VDD)
+		initV := q.RestoreFrac * q.VDD
+		if sp.InitVFrac != 0 {
+			initV = sp.InitVFrac * q.VDD
+		}
+		raw, err := Extract(q, sp.Mode, initV)
 		if err != nil {
-			return worst, fmt.Errorf("spice: Monte Carlo iteration %d: %w", i, err)
+			return raw, fmt.Errorf("spice: Monte Carlo iteration %d: %w", t.iter, err)
 		}
-		worst.RCD = maxF(worst.RCD, raw.RCD)
-		worst.RASFull = maxF(worst.RASFull, raw.RASFull)
-		worst.RASET = maxF(worst.RASET, raw.RASET)
-		worst.RP = maxF(worst.RP, raw.RP)
-		worst.WRFull = maxF(worst.WRFull, raw.WRFull)
-		worst.WRET = maxF(worst.WRET, raw.WRET)
+		return raw, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return worst, nil
+	out := make([]RawTimings, len(specs))
+	for ti, t := range tasks {
+		out[t.spec] = worstOf(out[t.spec], raws[ti])
+	}
+	return out, nil
+}
+
+// worstOf is the per-parameter max — the §7.1 worst-case reduction. It is
+// commutative and associative, so the reduction order (and therefore the
+// worker count) cannot change the result.
+func worstOf(a, b RawTimings) RawTimings {
+	return RawTimings{
+		RCD:     maxF(a.RCD, b.RCD),
+		RASFull: maxF(a.RASFull, b.RASFull),
+		RASET:   maxF(a.RASET, b.RASET),
+		RP:      maxF(a.RP, b.RP),
+		WRFull:  maxF(a.WRFull, b.WRFull),
+		WRET:    maxF(a.WRET, b.WRET),
+	}
 }
 
 func maxF(a, b float64) float64 {
@@ -131,6 +200,7 @@ type TableOptions struct {
 	Seed       int64   // default 1
 	Sigma      float64 // component variation; default 0.05 (5%)
 	SweepStep  float64 // refresh-window sweep step in ms; default 10
+	Workers    int     // parallel workers for the Monte Carlo draws; 0 = GOMAXPROCS
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -156,25 +226,24 @@ func (o TableOptions) withDefaults() TableOptions {
 func BuildTimingTable(p Params, opts TableOptions) (*core.TimingTable, error) {
 	opts = opts.withDefaults()
 
-	base, err := MonteCarlo(p, ModeBaseline, opts.Iterations, opts.Seed, opts.Sigma)
+	// One flat batch: the three Monte Carlo campaigns plus the two nominal
+	// single-draw extractions, all independent, sharded across the pool.
+	pool := engine.NewPool(opts.Workers)
+	raws, err := monteCarloMany(context.Background(), pool, p, []mcSpec{
+		{Mode: ModeBaseline, Iters: opts.Iterations, Seed: opts.Seed, Sigma: opts.Sigma},
+		{Mode: ModeMaxCap, Iters: opts.Iterations, Seed: opts.Seed + 1, Sigma: opts.Sigma},
+		{Mode: ModeHighPerf, Iters: opts.Iterations, Seed: opts.Seed + 2, Sigma: opts.Sigma},
+		// The "w/ E.T." column additionally reflects the next activation
+		// starting from VET instead of full restoration: extract the HP
+		// tRCD with a VET-restored cell (nominal parameters).
+		{Mode: ModeHighPerf, Iters: 1, InitVFrac: p.ETFrac},
+		// Nominal HP draw: denominator of the MC variation margin below.
+		{Mode: ModeHighPerf, Iters: 1},
+	})
 	if err != nil {
 		return nil, err
 	}
-	mc, err := MonteCarlo(p, ModeMaxCap, opts.Iterations, opts.Seed+1, opts.Sigma)
-	if err != nil {
-		return nil, err
-	}
-	hp, err := MonteCarlo(p, ModeHighPerf, opts.Iterations, opts.Seed+2, opts.Sigma)
-	if err != nil {
-		return nil, err
-	}
-	// The "w/ E.T." column additionally reflects the next activation
-	// starting from VET instead of full restoration: extract the HP tRCD
-	// with a VET-restored cell (nominal parameters).
-	hpET, err := Extract(p, ModeHighPerf, p.ETFrac*p.VDD)
-	if err != nil {
-		return nil, err
-	}
+	base, mc, hp, hpET, nominalHP := raws[0], raws[1], raws[2], raws[3], raws[4]
 
 	cal := CalibrateBaseline(base)
 	tab := &core.TimingTable{Source: "circuit-simulation"}
@@ -193,10 +262,6 @@ func BuildTimingTable(p Params, opts TableOptions) (*core.TimingTable, error) {
 	// w/ E.T.: tRCD from the VET-restored activation (scaled by the MC
 	// worst/nominal ratio so variation margin carries over), tRAS/tWR from
 	// the early-termination crossings.
-	nominalHP, err := Extract(p, ModeHighPerf, p.RestoreFrac*p.VDD)
-	if err != nil {
-		return nil, err
-	}
 	mcMargin := hp.RCD / nominalHP.RCD
 	tab.HighPerfET = mk(hpET.RCD*mcMargin, hp.RASET, hp.RP, hp.WRET)
 

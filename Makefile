@@ -1,20 +1,32 @@
-# Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds go vet and
-# the race detector over the full suite — required on every PR now that the
-# experiment engine fans simulations out across goroutines.
+# Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
+# detector over the full suite — required on every PR now that the
+# experiment engine fans simulations out across goroutines. check adds a
+# gofmt cleanliness gate on top of both tiers.
 
-.PHONY: all tier1 race check bench
+.PHONY: all tier1 race check fmt bench report
 
 all: check
 
 tier1:
 	go build ./...
+	go vet ./...
 	go test ./...
 
 race:
-	go vet ./...
 	go test -race ./...
 
-check: tier1 race
+# fmt fails (listing the offending files) if any file needs gofmt.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: tier1 race fmt
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
+
+# report runs a short canned experiment and emits its observability
+# report as JSON (see OBSERVABILITY.md for the schema).
+report:
+	go run ./cmd/clrsim -workload 429.mcf-like -hp 0.5 \
+		-instructions 200000 -stats-out -

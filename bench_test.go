@@ -401,6 +401,32 @@ func benchFig12Workers(b *testing.B, workers int) {
 func BenchmarkFig12Serial(b *testing.B)   { benchFig12Workers(b, 1) }
 func BenchmarkFig12Parallel(b *testing.B) { benchFig12Workers(b, 0) } // 0 = GOMAXPROCS
 
+// --- internal/metrics: observability overhead ---
+//
+// StatsOff/StatsOn run the identical Fig. 12 sweep with the metrics
+// registry disabled and enabled; comparing their ns/op bounds the cost of
+// the observability layer (target: < 5% — the hot-path instruments are
+// plain counter increments and one histogram bucket index per cycle).
+
+func benchFig12Stats(b *testing.B, collect bool) {
+	profiles := []workload.Profile{
+		benchProfile("429.mcf-like"),
+		benchProfile("random_00"),
+		benchProfile("stream_00"),
+	}
+	opts := benchOpts()
+	opts.Workers = 1
+	opts.CollectStats = collect
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFig12(profiles, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12StatsOff(b *testing.B) { benchFig12Stats(b, false) }
+func BenchmarkFig12StatsOn(b *testing.B)  { benchFig12Stats(b, true) }
+
 // --- §9: related-design comparison ---
 
 // BenchmarkSection9Comparison runs the quantitative version of the paper's

@@ -8,7 +8,14 @@
 //	clrsim -workload random_00 -hp 1.0 -refw 194 -instructions 2000000
 //	clrsim -trace my.trace -hp 0.5          # replay a tracegen file
 //	clrsim -workload random_00 -channels 2  # dual-channel system
+//	clrsim -workload 429.mcf-like -stats    # print the observability report
+//	clrsim -workload 429.mcf-like -stats-out report.json
 //	clrsim -list
+//
+// -stats collects the full observability layer (per-bank command counts,
+// timing-stall breakdown, queue-occupancy histograms, per-epoch IPC) and
+// prints it human-readably; -stats-out writes the same data as a RunReport
+// JSON document ("-" for stdout). See OBSERVABILITY.md for the schema.
 package main
 
 import (
@@ -38,6 +45,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "also run the baseline and print normalized results")
 		traceF   = flag.String("trace", "", "run a trace file (tracegen format) instead of a named workload")
 		channels = flag.Int("channels", 1, "number of memory channels")
+		statsF   = flag.Bool("stats", false, "collect the observability report and print it after the run")
+		statsOut = flag.String("stats-out", "", "write the observability report as JSON to this file ('-' for stdout; implies stats collection)")
 	)
 	flag.Parse()
 
@@ -64,6 +73,7 @@ func main() {
 	opts.WarmupRecords = *warmup
 	opts.Seed = *seed
 	opts.Channels = *channels
+	opts.CollectStats = *statsF || *statsOut != ""
 
 	run := func(c core.Config) sim.Result {
 		var res sim.Result
@@ -115,6 +125,21 @@ func main() {
 	}
 
 	res := run(cfg)
+	if res.Report != nil {
+		if *statsF {
+			if err := res.Report.WriteText(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if *statsOut != "" {
+			writeReport(*statsOut, func(w *os.File) error { return res.Report.WriteJSON(w) })
+			if *statsOut == "-" {
+				// Keep stdout a single valid JSON document for piping.
+				return
+			}
+		}
+	}
 	print := func(label string, r sim.Result) {
 		fmt.Printf("== %s (%s) ==\n", label, r.CLR)
 		for i, c := range r.PerCore {
@@ -150,6 +175,25 @@ func pct(a, b uint64) float64 {
 		return 0
 	}
 	return 100 * float64(a) / float64(b)
+}
+
+// writeReport writes a report to the given path, with "-" meaning stdout.
+func writeReport(path string, fn func(*os.File) error) {
+	if path == "-" {
+		if err := fn(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
 }
 
 func fatal(err error) {

@@ -17,6 +17,12 @@
 // bit-identical results at every worker count, and -checkpoint DIR
 // persists completed shards so an interrupted run resumes where it left
 // off. Defaults favour minutes-scale runs with the same result shapes.
+//
+// -stats prints a sweep report (figure aggregates plus the engine's
+// wall-clock timing and worker utilization) after the run; -stats-out FILE
+// writes it as JSON ("-" for stdout). Everything in the report except the
+// timing section is bit-identical at any -workers count (see
+// OBSERVABILITY.md).
 package main
 
 import (
@@ -55,6 +61,8 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for experiment shards")
 		ckptDir   = flag.String("checkpoint", "", "persist completed shards into this directory and resume from it")
+		statsF    = flag.Bool("stats", false, "collect observability stats and print a sweep report (with engine timings) at the end")
+		statsOut  = flag.String("stats-out", "", "write the sweep report as JSON to this file ('-' for stdout; implies -stats)")
 	)
 	flag.Parse()
 	if *all {
@@ -71,6 +79,21 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Progress = progressLine
+	var timer *engine.Timer
+	jsonOut := os.Stdout
+	if *statsF || *statsOut != "" {
+		*statsF = true
+		timer = &engine.Timer{}
+		opts.Timer = timer
+		opts.CollectStats = true
+		if *statsOut == "-" {
+			// Keep stdout a single valid JSON document for piping: every
+			// fmt.Printf below reads os.Stdout at call time, so pointing it
+			// at stderr reroutes the whole narrative (the report embeds the
+			// full figure payloads, so nothing is lost from the JSON side).
+			os.Stdout = os.Stderr
+		}
+	}
 	if *ckptDir != "" {
 		store, err := engine.NewStore(*ckptDir)
 		if err != nil {
@@ -288,6 +311,8 @@ func main() {
 		fmt.Println()
 	}
 
+	var f15 []sim.Fig15Row
+	var f15Fracs []float64
 	if *fig15 {
 		fmt.Println("==================== Figure 15 (refresh interval) ====================")
 		// Use the memory-intensive subset (refresh effects are most visible
@@ -306,6 +331,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		f15, f15Fracs = rows, fracs
 		writeCSV(*csvDir, "fig15.csv", func(w *os.File) error { return sim.WriteFig15CSV(w, rows, fracs) })
 		fmt.Println("setting      HP-frac:   25%     50%     75%    100%")
 		for _, r := range rows {
@@ -325,6 +351,50 @@ func main() {
 		}
 		fmt.Println("paper: CLR-64 refresh energy -66.1% (100% HP); CLR-194 -87.1%; perf stays ≥ +17.8%")
 	}
+
+	if *statsF {
+		rep := sim.SweepReport{
+			Schema:             sim.SweepSchema,
+			Seed:               *seed,
+			TargetInstructions: *instrs,
+			Fig15:              f15,
+			Fig15Fractions:     f15Fracs,
+			Timing:             timer.Summary(),
+		}
+		if haveF12 {
+			rep.Fig12 = &f12
+		}
+		if haveF13 {
+			rep.Fig13 = &f13
+		}
+		if err := rep.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *statsOut != "" {
+			writeReportFile(*statsOut, jsonOut, func(w *os.File) error { return rep.WriteJSON(w) })
+		}
+	}
+}
+
+// writeReportFile writes the sweep report to path, "-" meaning the
+// process's original stdout (which main may have rerouted for narrative
+// output).
+func writeReportFile(path string, stdout *os.File, fn func(*os.File) error) {
+	if path == "-" {
+		if err := fn(stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("(wrote %s)\n", path)
 }
 
 func printRows(f sim.Fig12Result) {

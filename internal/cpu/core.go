@@ -86,6 +86,16 @@ type Core struct {
 	memAccesses uint64
 	llcMisses   uint64 // maintained by the sim layer via CountLLCMiss
 
+	// Stall and memory-level-parallelism accounting (see stats.CoreStats
+	// for the derived metrics). All are plain increments on paths already
+	// taken, so they stay on unconditionally.
+	retireStalls uint64 // cycles retirement made no progress (head not ready)
+	windowFulls  uint64 // cycles issue stopped on a full reorder window
+	mshrStalls   uint64 // cycles issue stopped on the MSHR limit
+	memBlocked   uint64 // cycles issue stopped on memory-system backpressure
+	mlpSum       uint64 // Σ in-flight loads over cycles with ≥1 in flight
+	mlpCycles    uint64 // cycles with ≥1 load in flight
+
 	// Target handling: Finished() becomes true once retired ≥ target;
 	// FinishedStats freezes at that moment.
 	target        uint64
@@ -131,10 +141,16 @@ func (c *Core) Stats() stats.CoreStats {
 
 func (c *Core) snapshot() stats.CoreStats {
 	return stats.CoreStats{
-		Instructions: c.retired,
-		MemAccesses:  c.memAccesses,
-		LLCMisses:    c.llcMisses,
-		Cycles:       uint64(c.cycle),
+		Instructions:      c.retired,
+		MemAccesses:       c.memAccesses,
+		LLCMisses:         c.llcMisses,
+		Cycles:            uint64(c.cycle),
+		RetireStallCycles: c.retireStalls,
+		WindowFullCycles:  c.windowFulls,
+		MSHRStallCycles:   c.mshrStalls,
+		MemBlockedCycles:  c.memBlocked,
+		MLPSum:            c.mlpSum,
+		MLPCycles:         c.mlpCycles,
 	}
 }
 
@@ -144,6 +160,10 @@ func (c *Core) CountLLCMiss() { c.llcMisses++ }
 
 // Tick advances the core one CPU cycle: retire, then issue.
 func (c *Core) Tick() {
+	if c.loadsInFlight > 0 {
+		c.mlpSum += uint64(c.loadsInFlight)
+		c.mlpCycles++
+	}
 	c.retire()
 	c.issue()
 	c.cycle++
@@ -160,6 +180,9 @@ func (c *Core) Tick() {
 func (c *Core) retire() {
 	for n := 0; n < c.cfg.RetireWidth && c.count > 0; n++ {
 		if c.window[c.head] > c.cycle {
+			if n == 0 {
+				c.retireStalls++ // full stall: nothing retired this cycle
+			}
 			return // head not ready: in-order retirement stalls
 		}
 		c.head = (c.head + 1) % len(c.window)
@@ -172,6 +195,9 @@ func (c *Core) retire() {
 func (c *Core) issue() {
 	for n := 0; n < c.cfg.IssueWidth; n++ {
 		if c.count >= len(c.window) {
+			if n == 0 {
+				c.windowFulls++
+			}
 			return // window full
 		}
 		if c.bubblesLeft == 0 && !c.memPending {
@@ -201,6 +227,9 @@ func (c *Core) issue() {
 		rec := c.memRec
 		if rec.Write {
 			if !c.port.Store(c.id, rec.Addr) {
+				if n == 0 {
+					c.memBlocked++
+				}
 				return // backpressure: retry next cycle
 			}
 			c.memAccesses++
@@ -209,10 +238,16 @@ func (c *Core) issue() {
 			continue
 		}
 		if c.loadsInFlight >= c.cfg.MSHRs {
+			if n == 0 {
+				c.mshrStalls++
+			}
 			return // MSHR stall
 		}
 		slot := c.tail
 		if !c.port.Load(c.id, rec.Addr, c.loadDone(slot)) {
+			if n == 0 {
+				c.memBlocked++
+			}
 			return // memory system backpressure
 		}
 		c.loadsInFlight++

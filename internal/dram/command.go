@@ -35,6 +35,11 @@ const (
 	numKinds
 )
 
+// NumCommandKinds is the number of distinct command kinds, for sizing
+// kind-indexed tables outside this package (observability reports iterate
+// Kind(0)..Kind(NumCommandKinds-1)).
+const NumCommandKinds = int(numKinds)
+
 // String returns the JEDEC-style mnemonic of the command kind.
 func (k Kind) String() string {
 	switch k {

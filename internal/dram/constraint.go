@@ -1,0 +1,147 @@
+package dram
+
+import "fmt"
+
+// Constraint names the timing rule (or state prerequisite) that blocks a
+// command from issuing. It exists for observability: when the controller
+// fails to issue anything in a cycle, it asks BlockingConstraint which rule
+// is binding, and accumulates a stall breakdown per constraint. The
+// classification is advisory — scheduling decisions never depend on it.
+type Constraint uint8
+
+// Blocking constraints, from "not blocked" through the specific DDR4 rule
+// families. The grouping matches how the device tracks its floors: per-bank
+// (one next-cycle floor per command class), per-bank-group, and rank-wide.
+const (
+	// ConstraintNone: the command may issue this cycle.
+	ConstraintNone Constraint = iota
+	// ConstraintState: the bank is in the wrong state (e.g. RD on a closed
+	// bank); the controller must first issue the prerequisite command.
+	ConstraintState
+	// ConstraintRefresh: an in-flight REF occupies the rank (tRFC).
+	ConstraintRefresh
+	// ConstraintBank: a per-bank floor is binding — tRC/tRP before ACT,
+	// tRAS/tRTP/write recovery before PRE, or tRCD before RD/WR.
+	ConstraintBank
+	// ConstraintRankACT: rank-wide ACT→ACT spacing (tRRD_S).
+	ConstraintRankACT
+	// ConstraintGroupACT: same-bank-group ACT→ACT spacing (tRRD_L).
+	ConstraintGroupACT
+	// ConstraintFAW: the four-activate window (tFAW).
+	ConstraintFAW
+	// ConstraintGroupColumn: same-bank-group column spacing (tCCD_L,
+	// tWTR_L, or same-group read↔write turnaround).
+	ConstraintGroupColumn
+	// ConstraintRankColumn: rank-wide column spacing (tCCD_S, tWTR_S, or
+	// rank read↔write turnaround).
+	ConstraintRankColumn
+
+	// NumConstraints sizes constraint-indexed tables.
+	NumConstraints
+)
+
+// String returns a short stable identifier (used as a metric-name suffix).
+func (c Constraint) String() string {
+	switch c {
+	case ConstraintNone:
+		return "none"
+	case ConstraintState:
+		return "state"
+	case ConstraintRefresh:
+		return "refresh"
+	case ConstraintBank:
+		return "bank"
+	case ConstraintRankACT:
+		return "rank_act"
+	case ConstraintGroupACT:
+		return "group_act"
+	case ConstraintFAW:
+		return "faw"
+	case ConstraintGroupColumn:
+		return "group_col"
+	case ConstraintRankColumn:
+		return "rank_col"
+	default:
+		return fmt.Sprintf("Constraint(%d)", uint8(c))
+	}
+}
+
+// BlockingConstraint reports which rule prevents cmd from issuing at the
+// current cycle, or ConstraintNone if it may issue. When several floors lie
+// in the future it returns the latest one (the binding constraint — the one
+// that must expire last).
+//
+// This deliberately mirrors EarliestIssue rather than being folded into it:
+// EarliestIssue runs on the scheduler's hot path for every queued request
+// every cycle, while this classification is only computed on cycles the
+// controller issues nothing and stall accounting is enabled. Keeping them
+// separate keeps the argmax bookkeeping off the hot path entirely.
+func (d *Device) BlockingConstraint(cmd Command) Constraint {
+	now := d.clock
+	if d.refBusyUntil > now && cmd.Kind != KindREF {
+		return ConstraintRefresh
+	}
+	t, why := int64(0), ConstraintNone
+	raise := func(floor int64, c Constraint) {
+		if floor > t {
+			t, why = floor, c
+		}
+	}
+	switch cmd.Kind {
+	case KindACT:
+		b := &d.banks[cmd.Bank]
+		if b.open {
+			return ConstraintState
+		}
+		raise(b.nextACT, ConstraintBank)
+		raise(d.rankNextACT, ConstraintRankACT)
+		raise(d.groupActs[cmd.Bank/d.cfg.BanksPerGroup], ConstraintGroupACT)
+		if d.actWindowN >= 4 {
+			m := d.modeOf(cmd.Bank, cmd.Row)
+			raise(d.actWindow[d.actWindowN%4]+int64(d.timing(m).FAW), ConstraintFAW)
+		}
+	case KindPRE:
+		b := &d.banks[cmd.Bank]
+		if !b.open {
+			return ConstraintState
+		}
+		raise(b.nextPRE, ConstraintBank)
+	case KindPREA:
+		for i := range d.banks {
+			if b := &d.banks[i]; b.open {
+				raise(b.nextPRE, ConstraintBank)
+			}
+		}
+	case KindRD:
+		b := &d.banks[cmd.Bank]
+		if !b.open || b.row != cmd.Row {
+			return ConstraintState
+		}
+		raise(b.nextRD, ConstraintBank)
+		raise(d.groups[cmd.Bank/d.cfg.BanksPerGroup].nextRD, ConstraintGroupColumn)
+		raise(d.rankNextRD, ConstraintRankColumn)
+	case KindWR:
+		b := &d.banks[cmd.Bank]
+		if !b.open || b.row != cmd.Row {
+			return ConstraintState
+		}
+		raise(b.nextWR, ConstraintBank)
+		raise(d.groups[cmd.Bank/d.cfg.BanksPerGroup].nextWR, ConstraintGroupColumn)
+		raise(d.rankNextWR, ConstraintRankColumn)
+	case KindREF:
+		raise(d.refBusyUntil, ConstraintRefresh)
+		for i := range d.banks {
+			b := &d.banks[i]
+			if b.open {
+				return ConstraintState
+			}
+			raise(b.nextACT, ConstraintBank)
+		}
+	default:
+		return ConstraintState
+	}
+	if t <= now {
+		return ConstraintNone
+	}
+	return why
+}

@@ -99,8 +99,15 @@ type Device struct {
 
 	clock int64
 
-	// statistics
+	// Statistics. These are always collected: they are plain array
+	// increments on command issue (commands are orders of magnitude rarer
+	// than cycles), and the per-bank/per-mode breakdowns are what the
+	// observability layer (internal/metrics, sim.RunReport) reports as the
+	// command mix. PREA is attributed per closed bank as a PRE in bankCmds
+	// (the rank-level PREA itself still counts in CmdCounts).
 	CmdCounts [numKinds]uint64
+	bankCmds  [][numKinds]uint64
+	modeCmds  [NumModes][numKinds]uint64
 }
 
 // NewDevice constructs a device from cfg. It panics on invalid configuration
@@ -121,6 +128,7 @@ func NewDevice(cfg Config) *Device {
 		banks:     make([]bank, cfg.Banks()),
 		groups:    make([]bankGroup, cfg.BankGroups),
 		groupActs: make([]int64, cfg.BankGroups),
+		bankCmds:  make([][numKinds]uint64, cfg.Banks()),
 	}
 }
 
@@ -294,6 +302,8 @@ func (d *Device) Issue(cmd Command) {
 			t := d.timing(b.mode)
 			b.open = false
 			b.nextACT = max64(b.nextACT, now+int64(t.RP))
+			d.bankCmds[i][KindPRE]++
+			d.modeCmds[b.mode][KindPRE]++
 		}
 	case KindRD:
 		b := &d.banks[cmd.Bank]
@@ -333,9 +343,32 @@ func (d *Device) Issue(cmd Command) {
 		}
 	}
 	d.CmdCounts[cmd.Kind]++
+	switch cmd.Kind {
+	case KindACT, KindPRE, KindRD, KindWR:
+		d.bankCmds[cmd.Bank][cmd.Kind]++
+		d.modeCmds[cmd.Mode][cmd.Kind]++
+	case KindREF:
+		d.modeCmds[cmd.Mode][KindREF]++
+	}
 	if d.cfg.Listener != nil {
 		d.cfg.Listener.OnCommand(cmd, now)
 	}
+}
+
+// BankCommandCount returns how many commands of kind k issued to the given
+// bank. PRE counts include per-bank closures performed by rank-level PREA.
+func (d *Device) BankCommandCount(bank int, k Kind) uint64 {
+	return d.bankCmds[bank][k]
+}
+
+// ModeCommandCount returns how many commands of kind k issued against rows
+// of operating mode m (for ACT/PRE/RD/WR, the mode of the target row; for
+// REF, the refresh stream's mode). It is the per-mode command mix of the
+// paper's heterogeneous device: e.g. the high-performance share of ACTs
+// directly measures how well the hot-page mapping captured the access
+// stream.
+func (d *Device) ModeCommandCount(m Mode, k Kind) uint64 {
+	return d.modeCmds[m][k]
 }
 
 // groupNextACTSet raises the per-group tRRD_L floor for future ACTs.

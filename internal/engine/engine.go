@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Progress receives (done, total) after each task completes. Calls are
@@ -41,6 +42,7 @@ type Progress func(done, total int)
 type Pool struct {
 	workers  int
 	progress Progress
+	timer    *Timer
 }
 
 // NewPool returns a pool running at most workers tasks at once;
@@ -85,6 +87,10 @@ func Map[I, O any](ctx context.Context, pool *Pool, items []I, fn func(ctx conte
 	tctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	if pool.timer != nil {
+		start := time.Now()
+		defer func() { pool.timer.addRun(time.Since(start), pool.Workers()) }()
+	}
 	workers := pool.workers
 	if workers > len(items) {
 		workers = len(items)
@@ -106,7 +112,14 @@ func Map[I, O any](ctx context.Context, pool *Pool, items []I, fn func(ctx conte
 				if i >= len(items) || tctx.Err() != nil {
 					return
 				}
+				var taskStart time.Time
+				if pool.timer != nil {
+					taskStart = time.Now()
+				}
 				res, err := runTask(tctx, i, items[i], fn)
+				if pool.timer != nil {
+					pool.timer.addTask(time.Since(taskStart))
+				}
 				mu.Lock()
 				if err != nil {
 					if errIndex < 0 || i < errIndex {

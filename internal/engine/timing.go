@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer accumulates wall-clock measurements of Map/ForEach runs: how long
+// each run took, how much cumulative task time the workers performed, and
+// how well the pool kept its workers busy. Attach one with Pool.WithTimer.
+//
+// Unlike every other quantity the engine touches, these measurements are
+// inherently non-deterministic — they depend on the machine, the scheduler,
+// and the worker count. Report consumers must therefore keep them out of any
+// output covered by the bit-identical determinism contract; package sim does
+// this by isolating Timer-derived numbers in a report section that its
+// canonical form strips.
+//
+// A nil *Timer is a valid no-op: every method returns immediately (or a zero
+// Summary), so timing can be plumbed unconditionally and enabled by a flag.
+// All methods are safe for concurrent use.
+type Timer struct {
+	mu      sync.Mutex
+	runs    int
+	tasks   int
+	workers int // workers of the most recent run
+	wall    time.Duration
+	busy    time.Duration
+	maxTask time.Duration
+}
+
+// TimerSummary is a point-in-time copy of a Timer's accumulated state, in
+// seconds, ready for embedding in a report.
+type TimerSummary struct {
+	Runs            int     `json:"runs"`              // Map/ForEach invocations observed
+	Tasks           int     `json:"tasks"`             // tasks completed (including failed)
+	Workers         int     `json:"workers"`           // worker count of the most recent run
+	WallSeconds     float64 `json:"wall_seconds"`      // Σ wall-clock duration of the runs
+	BusySeconds     float64 `json:"busy_seconds"`      // Σ per-task durations across all workers
+	MeanTaskSeconds float64 `json:"mean_task_seconds"` // BusySeconds / Tasks
+	MaxTaskSeconds  float64 `json:"max_task_seconds"`  // longest single task
+	Utilization     float64 `json:"utilization"`       // BusySeconds / (WallSeconds × Workers)
+}
+
+// addTask records one completed task's duration.
+func (t *Timer) addTask(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tasks++
+	t.busy += d
+	if d > t.maxTask {
+		t.maxTask = d
+	}
+	t.mu.Unlock()
+}
+
+// addRun records one completed Map/ForEach run.
+func (t *Timer) addRun(wall time.Duration, workers int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.runs++
+	t.wall += wall
+	t.workers = workers
+	t.mu.Unlock()
+}
+
+// Summary returns the accumulated measurements. A nil Timer returns the zero
+// Summary.
+func (t *Timer) Summary() TimerSummary {
+	if t == nil {
+		return TimerSummary{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerSummary{
+		Runs:           t.runs,
+		Tasks:          t.tasks,
+		Workers:        t.workers,
+		WallSeconds:    t.wall.Seconds(),
+		BusySeconds:    t.busy.Seconds(),
+		MaxTaskSeconds: t.maxTask.Seconds(),
+	}
+	if t.tasks > 0 {
+		s.MeanTaskSeconds = s.BusySeconds / float64(t.tasks)
+	}
+	if t.wall > 0 && t.workers > 0 {
+		s.Utilization = s.BusySeconds / (s.WallSeconds * float64(t.workers))
+	}
+	return s
+}
+
+// WithTimer returns a copy of the pool whose Map/ForEach runs accumulate
+// wall-clock measurements into t. A nil t disables timing (the default).
+func (p *Pool) WithTimer(t *Timer) *Pool {
+	q := *p
+	q.timer = t
+	return &q
+}

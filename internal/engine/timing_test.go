@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTimerAccumulates(t *testing.T) {
+	tm := &Timer{}
+	pool := NewPool(2).WithTimer(tm)
+	items := []int{0, 1, 2, 3, 4}
+	_, err := Map(context.Background(), pool, items, func(_ context.Context, i, v int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return v * v, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	s := tm.Summary()
+	if s.Runs != 1 {
+		t.Errorf("Runs = %d, want 1", s.Runs)
+	}
+	if s.Tasks != len(items) {
+		t.Errorf("Tasks = %d, want %d", s.Tasks, len(items))
+	}
+	if s.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", s.Workers)
+	}
+	if s.WallSeconds <= 0 || s.BusySeconds <= 0 || s.MaxTaskSeconds <= 0 {
+		t.Errorf("expected positive durations, got %+v", s)
+	}
+	if s.MeanTaskSeconds <= 0 || s.MeanTaskSeconds > s.BusySeconds {
+		t.Errorf("MeanTaskSeconds = %v out of range (busy %v)", s.MeanTaskSeconds, s.BusySeconds)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1.5 {
+		t.Errorf("Utilization = %v out of plausible range", s.Utilization)
+	}
+}
+
+func TestTimerNilSafe(t *testing.T) {
+	var tm *Timer
+	tm.addTask(time.Second) // must not panic
+	tm.addRun(time.Second, 4)
+	if s := tm.Summary(); s != (TimerSummary{}) {
+		t.Errorf("nil Timer summary = %+v, want zero", s)
+	}
+	// A pool without a timer must not measure anything.
+	pool := NewPool(1)
+	_, err := Map(context.Background(), pool, []int{1}, func(_ context.Context, _, v int) (int, error) {
+		return v, nil
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"clrdram/internal/dram"
+	"clrdram/internal/metrics"
 	"clrdram/internal/stats"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 
 	// Refresh streams. Empty means refresh disabled (useful in unit tests).
 	Refresh []RefreshStream
+
+	// Metrics, when non-nil, enables per-cycle observability: read/write
+	// queue-occupancy histograms and a stall-cycle breakdown by binding
+	// DRAM constraint, registered under this registry (typically a
+	// Sub-scoped view like "mem.ch0"). Nil keeps the hot path free of the
+	// per-cycle sampling work (OBSERVABILITY.md documents the instrument
+	// names and their DDR4 meaning).
+	Metrics *metrics.Registry
 }
 
 // RefreshStream describes one periodic refresh obligation (paper §5.2): the
@@ -83,6 +92,7 @@ type Stats struct {
 	WritesServed  uint64
 	Refreshes     uint64
 	TimeoutCloses uint64          // PREs issued by the timeout row policy
+	CapTrips      uint64          // ready row hits skipped by the FR-FCFS row-hit cap
 	ReadLatency   stats.Histogram // enqueue→data, device cycles
 }
 
@@ -109,6 +119,15 @@ type Controller struct {
 	mapper *Mapper
 
 	st Stats
+
+	// Observability (nil handles when Config.Metrics is nil; see obsTick).
+	collect   bool
+	obsReadQ  *metrics.Histogram
+	obsWriteQ *metrics.Histogram
+	obsIdle   *metrics.Counter
+	obsCap    *metrics.Counter
+	obsDrain  *metrics.Counter
+	obsStalls [dram.NumConstraints]*metrics.Counter
 }
 
 // Device wraps the dram.Device so tests can substitute geometry; it is a
@@ -158,11 +177,32 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	c.mapper = m
+	if cfg.Metrics != nil {
+		c.collect = true
+		reg := cfg.Metrics
+		c.obsReadQ = reg.Histogram("queue.read.occupancy", cfg.ReadQueueCap+1, 1)
+		c.obsWriteQ = reg.Histogram("queue.write.occupancy", cfg.WriteQueueCap+1, 1)
+		c.obsIdle = reg.Counter("cycles.idle")
+		c.obsCap = reg.Counter("stall.cap")
+		c.obsDrain = reg.Counter("cycles.write_drain")
+		// Skip ConstraintNone: a "not blocked" classification on a stalled
+		// cycle means the scheduler withheld the command, counted as
+		// stall.cap above (obsStalls[ConstraintNone] stays nil, a no-op).
+		for k := dram.ConstraintState; k < dram.NumConstraints; k++ {
+			c.obsStalls[k] = reg.Counter("stall." + k.String())
+		}
+	}
 	return c, nil
 }
 
 // Mapper returns the controller's address mapper.
 func (c *Controller) Mapper() *Mapper { return c.mapper }
+
+// Device returns the controller's DRAM device. Callers must treat it as
+// read-only; it exists so the observability layer can report device-level
+// breakdowns (per-bank and per-mode command counts) alongside the
+// controller's own counters.
+func (c *Controller) Device() *dram.Device { return c.dev }
 
 // SetRefresh replaces the refresh stream set at run time (dynamic CLR-DRAM
 // reconfiguration changes the mode population and therefore the per-stream
@@ -257,8 +297,68 @@ func (c *Controller) Tick() {
 	if !issued {
 		c.tickRowTimeout(now)
 	}
+	if c.collect {
+		c.obsTick(issued)
+	}
 
 	c.dev.Tick()
+}
+
+// obsTick records the per-cycle observability samples: queue occupancies,
+// and — on cycles where requests were pending but no command issued — which
+// DRAM constraint was binding for the oldest serviceable request. Only
+// called when Config.Metrics is set, so the disabled path pays one branch.
+func (c *Controller) obsTick(issued bool) {
+	c.obsReadQ.Observe(float64(len(c.readQ)))
+	c.obsWriteQ.Observe(float64(len(c.writeQ)))
+	if c.draining {
+		c.obsDrain.Inc()
+	}
+	if issued {
+		return
+	}
+	if c.Pending() == 0 {
+		c.obsIdle.Inc()
+		return
+	}
+	if c.refPending != -1 {
+		// An armed refresh suppresses request scheduling until it drains
+		// (PREA + REF); attribute the whole wait to the refresh path.
+		c.obsStalls[dram.ConstraintRefresh].Inc()
+		return
+	}
+	// Classify by the oldest request of the queue the scheduler considered
+	// this cycle (c.draining was just settled by tickSchedule), falling
+	// back to the other queue if that one is empty.
+	q := c.readQ
+	if c.draining || len(q) == 0 {
+		if len(c.writeQ) > 0 {
+			q = c.writeQ
+		}
+	}
+	req := q[0]
+	open, row := c.dev.BankState(req.decoded.Bank)
+	var cmd dram.Command
+	switch {
+	case open && row == req.decoded.Row:
+		kind := dram.KindRD
+		if req.Write {
+			kind = dram.KindWR
+		}
+		cmd = dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column}
+	case open:
+		cmd = dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank}
+	default:
+		cmd = dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row}
+	}
+	k := c.dev.BlockingConstraint(cmd)
+	if k == dram.ConstraintNone {
+		// The oldest request was serviceable but the scheduler withheld it:
+		// that is the row-hit cap protecting an older conflicting request.
+		c.obsCap.Inc()
+		return
+	}
+	c.obsStalls[k].Inc()
 }
 
 // tickRefresh arms due refresh streams and drives an armed refresh to
@@ -353,6 +453,7 @@ func (c *Controller) tickSchedule(now int64) bool {
 			continue
 		}
 		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
+			c.st.CapTrips++
 			continue
 		}
 		if c.issueColumn(req, now) {

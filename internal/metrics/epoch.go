@@ -1,0 +1,75 @@
+package metrics
+
+// EpochSeries turns a cumulative counter into a per-epoch delta series: the
+// caller reports (cycle, cumulative) pairs — typically once per simulated
+// cycle — and the series records one delta per completed interval. It is how
+// the simulator produces per-epoch IPC curves without storing per-cycle
+// state: O(totalCycles / interval) memory, one comparison per call on the
+// hot path.
+//
+// A nil *EpochSeries ignores observations, matching the package's disabled-
+// collector convention.
+type EpochSeries struct {
+	interval int64
+	nextAt   int64
+	lastCum  float64
+	deltas   []float64
+}
+
+// NewEpochSeries creates a series that closes an epoch every interval units
+// of the caller's clock. It panics on a non-positive interval.
+func NewEpochSeries(interval int64) *EpochSeries {
+	if interval <= 0 {
+		panic("metrics: non-positive epoch interval")
+	}
+	return &EpochSeries{interval: interval, nextAt: interval}
+}
+
+// Observe reports the cumulative value at the given clock. Clocks must be
+// non-decreasing across calls. When the clock crosses one or more epoch
+// boundaries, the cumulative delta since the previous boundary is split
+// evenly across the completed epochs (cheap, and exact when the caller
+// observes every cycle).
+func (e *EpochSeries) Observe(clock int64, cumulative float64) {
+	if e == nil || clock < e.nextAt {
+		return
+	}
+	crossed := (clock-e.nextAt)/e.interval + 1
+	delta := (cumulative - e.lastCum) / float64(crossed)
+	for i := int64(0); i < crossed; i++ {
+		e.deltas = append(e.deltas, delta)
+	}
+	e.lastCum = cumulative
+	e.nextAt += crossed * e.interval
+}
+
+// Interval returns the epoch length (0 for a nil series).
+func (e *EpochSeries) Interval() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.interval
+}
+
+// Deltas returns the per-epoch deltas recorded so far. The returned slice is
+// the series' backing store; callers must not mutate it.
+func (e *EpochSeries) Deltas() []float64 {
+	if e == nil {
+		return nil
+	}
+	return e.deltas
+}
+
+// SeriesSnapshot is the serializable state of an epoch series.
+type SeriesSnapshot struct {
+	Interval int64     `json:"interval"`
+	Deltas   []float64 `json:"deltas,omitempty"`
+}
+
+// Snapshot captures the series.
+func (e *EpochSeries) Snapshot() SeriesSnapshot {
+	if e == nil {
+		return SeriesSnapshot{}
+	}
+	return SeriesSnapshot{Interval: e.interval, Deltas: append([]float64(nil), e.deltas...)}
+}

@@ -1,0 +1,399 @@
+// Package metrics is the simulator's observability layer: a lightweight,
+// zero-dependency registry of named counters, gauges, fixed-bucket
+// histograms and epoch series, designed for cycle-accurate hot paths.
+//
+// Two properties drive the design (they are what Ramulator 2's built-in
+// per-component statistics get right, and what ad-hoc printf counters get
+// wrong):
+//
+//   - Collection is allocation-free on the hot path. A component asks the
+//     registry for its instruments once, at construction, and then updates
+//     them through plain struct mutations — no map lookups, no interface
+//     dispatch, no boxing.
+//
+//   - Disabled collection costs ~nothing. Every instrument method is
+//     nil-receiver-safe: a nil *Registry hands out nil handles, and
+//     Inc/Add/Set/Observe on a nil handle is a single predictable branch.
+//     Instrumented code therefore never guards updates with its own
+//     "are stats on?" checks, and no dummy sink is shared across
+//     goroutines (which would be a data race under parallel sweeps).
+//
+// Determinism: instruments carry no wall-clock state, and Snapshot
+// serializes with sorted names, so two runs of a deterministic simulation
+// produce bit-identical snapshots regardless of worker count or host load.
+// The experiment engine's wall-clock Timer (internal/engine) is deliberately
+// kept outside this package for that reason.
+//
+// OBSERVABILITY.md documents the metric namespace the simulator registers
+// and the JSON report format built on these snapshots.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64 instrument. The zero value
+// is ready to use; a nil *Counter ignores updates and reads as 0.
+type Counter struct{ v uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value-wins float64 instrument. A nil *Gauge ignores
+// updates and reads as 0.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add increments the value.
+func (g *Gauge) Add(v float64) {
+	if g != nil {
+		g.v += v
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bucket i counts samples in
+// [i·Width, (i+1)·Width); samples beyond the last bucket land in Overflow.
+// A nil *Histogram ignores observations.
+type Histogram struct {
+	width    float64
+	invWidth float64 // 1/width: Observe multiplies instead of divides (hot path)
+	counts   []uint64
+	overflow uint64
+	samples  uint64
+	sum      float64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width. It
+// panics on a non-positive shape, which is always a construction-site bug.
+func NewHistogram(n int, width float64) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic(fmt.Sprintf("metrics: invalid histogram shape (%d buckets × %v width)", n, width))
+	}
+	return &Histogram{width: width, invWidth: 1 / width, counts: make([]uint64, n)}
+}
+
+// Observe records one sample. Negative samples clamp to the first bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.samples++
+	h.sum += v
+	idx := int(v * h.invWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		h.overflow++
+		return
+	}
+	h.counts[idx]++
+}
+
+// Samples returns the number of recorded observations.
+func (h *Histogram) Samples() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.samples
+}
+
+// Mean returns the exact mean of all observations (not bucket-quantized).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.samples == 0 {
+		return 0
+	}
+	return h.sum / float64(h.samples)
+}
+
+// Percentile returns an approximate p-quantile (0 < p ≤ 1) assuming samples
+// sit at their bucket midpoint. Overflow samples map to the top boundary.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h == nil || h.samples == 0 {
+		return 0
+	}
+	target := p * float64(h.samples)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= target {
+			return (float64(i) + 0.5) * h.width
+		}
+	}
+	return float64(len(h.counts)) * h.width
+}
+
+// Snapshot returns the histogram's serializable state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		BucketWidth: h.width,
+		Samples:     h.samples,
+		Sum:         h.sum,
+		Overflow:    h.overflow,
+		Mean:        h.Mean(),
+		P50:         h.Percentile(0.50),
+		P90:         h.Percentile(0.90),
+		P99:         h.Percentile(0.99),
+	}
+	// Sparse encoding: only non-empty buckets, in index order. Latency
+	// histograms over cycle-accurate models are almost empty almost
+	// everywhere, and a dense dump would dominate the report.
+	for i, c := range h.counts {
+		if c != 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Index: i, Count: c})
+		}
+	}
+	return s
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot.
+type HistogramBucket struct {
+	Index int    `json:"index"` // bucket covers [index·width, (index+1)·width)
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable state of a histogram, with summary
+// quantiles precomputed so consumers need no bucket math.
+type HistogramSnapshot struct {
+	BucketWidth float64           `json:"bucket_width"`
+	Samples     uint64            `json:"samples"`
+	Sum         float64           `json:"sum"`
+	Overflow    uint64            `json:"overflow"`
+	Mean        float64           `json:"mean"`
+	P50         float64           `json:"p50"`
+	P90         float64           `json:"p90"`
+	P99         float64           `json:"p99"`
+	Buckets     []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Registry hands out named instruments and snapshots them. It is not
+// goroutine-safe: one registry belongs to one simulated system, which is
+// single-threaded by construction (parallel sweeps give every run its own
+// registry). A nil *Registry is the disabled collector: it returns nil
+// handles everywhere and snapshots empty.
+type Registry struct {
+	prefix     string
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*EpochSeries
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		series:     map[string]*EpochSeries{},
+	}
+}
+
+// Sub returns a view of the registry that prefixes every instrument name
+// with prefix + ".". Sub of a nil registry is nil, so components can scope
+// unconditionally.
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	s := *r
+	if s.prefix != "" {
+		s.prefix += "."
+	}
+	s.prefix += prefix
+	return &s
+}
+
+func (r *Registry) name(n string) string {
+	if r.prefix == "" {
+		return n
+	}
+	return r.prefix + "." + n
+}
+
+// Counter returns the named counter, creating it on first use. Successive
+// calls with the same name return the same instrument.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	n := r.name(name)
+	c, ok := r.counters[n]
+	if !ok {
+		c = &Counter{}
+		r.counters[n] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	n := r.name(name)
+	g, ok := r.gauges[n]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[n] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given shape on
+// first use. The shape of an existing histogram is left untouched.
+func (r *Registry) Histogram(name string, buckets int, width float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	n := r.name(name)
+	h, ok := r.histograms[n]
+	if !ok {
+		h = NewHistogram(buckets, width)
+		r.histograms[n] = h
+	}
+	return h
+}
+
+// Series returns the named epoch series, creating it with the given interval
+// on first use.
+func (r *Registry) Series(name string, interval int64) *EpochSeries {
+	if r == nil {
+		return nil
+	}
+	n := r.name(name)
+	s, ok := r.series[n]
+	if !ok {
+		s = NewEpochSeries(interval)
+		r.series[n] = s
+	}
+	return s
+}
+
+// Snapshot captures every instrument. The result marshals deterministically:
+// encoding/json sorts map keys, and all values are plain numbers.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
+}
+
+// Snapshot captures the current value of every instrument in the registry
+// (the full registry, regardless of which Sub view is called).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for n, h := range r.histograms {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	if len(r.series) > 0 {
+		s.Series = make(map[string]SeriesSnapshot, len(r.series))
+		for n, e := range r.series {
+			s.Series[n] = e.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot human-readably, sorted by name, one
+// instrument per line, indented by the given prefix.
+func (s Snapshot) WriteText(w io.Writer, indent string) error {
+	for _, n := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s%-46s %d\n", indent, n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s%-46s %g\n", indent, n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "%s%-46s n=%d mean=%.1f p50=%.1f p90=%.1f p99=%.1f overflow=%d\n",
+			indent, n, h.Samples, h.Mean, h.P50, h.P90, h.P99, h.Overflow); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Series) {
+		e := s.Series[n]
+		if _, err := fmt.Fprintf(w, "%s%-46s epochs=%d interval=%d\n",
+			indent, n, len(e.Deltas), e.Interval); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSONDeterministic is json.Marshal with the stdlib's sorted-map-key
+// guarantee made explicit at the call site: byte-identical snapshots for
+// value-identical registries.
+func (s Snapshot) MarshalJSONDeterministic() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

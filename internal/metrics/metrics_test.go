@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("acts")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("acts") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("ipc")
+	g.Set(1.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2.0", got)
+	}
+}
+
+func TestNilRegistryAndHandlesAreSafe(t *testing.T) {
+	var r *Registry
+	if r.Sub("mem") != nil {
+		t.Fatal("Sub of nil registry must be nil")
+	}
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", 8, 1)
+	s := r.Series("w", 10)
+	if c != nil || g != nil || h != nil || s != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	// None of these may panic, and all reads must be zero.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(5)
+	s.Observe(100, 42)
+	if c.Value() != 0 || g.Value() != 0 || h.Samples() != 0 || h.Mean() != 0 ||
+		h.Percentile(0.5) != 0 || len(s.Deltas()) != 0 || s.Interval() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if snap := r.Snapshot(); snap.Counters != nil || snap.Gauges != nil ||
+		snap.Histograms != nil || snap.Series != nil {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSubPrefixing(t *testing.T) {
+	r := NewRegistry()
+	r.Sub("mem").Sub("ch0").Counter("rowbuffer.hits").Add(7)
+	snap := r.Snapshot()
+	if snap.Counters["mem.ch0.rowbuffer.hits"] != 7 {
+		t.Fatalf("prefixed counter missing: %v", snap.Counters)
+	}
+	// Sub views share the parent's instrument space.
+	if r.Sub("mem.ch0").Counter("rowbuffer.hits").Value() != 7 {
+		t.Fatal("sub view must resolve to the same instrument")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 2) // buckets [0,2) [2,4) ... [18,20)
+	for _, v := range []float64{1, 3, 3, 19, 25, -1} {
+		h.Observe(v)
+	}
+	if h.Samples() != 6 {
+		t.Fatalf("samples = %d, want 6", h.Samples())
+	}
+	snap := h.Snapshot()
+	if snap.Overflow != 1 {
+		t.Fatalf("overflow = %d, want 1 (sample 25)", snap.Overflow)
+	}
+	// Negative sample clamps into bucket 0 alongside the 1.
+	want := map[int]uint64{0: 2, 1: 2, 9: 1}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want %v", snap.Buckets, want)
+	}
+	for _, b := range snap.Buckets {
+		if want[b.Index] != b.Count {
+			t.Fatalf("bucket %d = %d, want %d", b.Index, b.Count, want[b.Index])
+		}
+	}
+	if got := h.Mean(); got != 50.0/6 {
+		t.Fatalf("mean = %v, want %v", got, 50.0/6)
+	}
+	if p := h.Percentile(0.5); p != 3 { // 3rd of 6 samples sits in bucket 1, midpoint 3
+		t.Fatalf("p50 = %v, want 3", p)
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on zero-bucket histogram")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestEpochSeries(t *testing.T) {
+	e := NewEpochSeries(100)
+	for cycle := int64(0); cycle < 250; cycle++ {
+		e.Observe(cycle, float64(2*cycle)) // slope 2 → delta 200 per epoch
+	}
+	deltas := e.Deltas()
+	if len(deltas) != 2 {
+		t.Fatalf("epochs = %d, want 2 (cycle 249 has not closed the third)", len(deltas))
+	}
+	for i, d := range deltas {
+		if d != 200 {
+			t.Fatalf("epoch %d delta = %v, want 200", i, d)
+		}
+	}
+}
+
+func TestEpochSeriesSkippedBoundaries(t *testing.T) {
+	// Observing only every 250 cycles still yields one delta per epoch,
+	// with the cumulative growth split evenly across crossed epochs.
+	e := NewEpochSeries(100)
+	e.Observe(250, 500)
+	if got := e.Deltas(); len(got) != 2 || got[0] != 250 || got[1] != 250 {
+		t.Fatalf("deltas = %v, want [250 250]", got)
+	}
+	e.Observe(399, 800)
+	if got := e.Deltas(); len(got) != 3 || got[2] != 300 {
+		t.Fatalf("deltas = %v, want third epoch delta 300", got)
+	}
+}
+
+func TestSnapshotDeterministicJSON(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		// Register in one order...
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("z").Set(3)
+		r.Histogram("h", 4, 1).Observe(2)
+		r.Series("s", 10).Observe(25, 5)
+		return r.Snapshot()
+	}
+	build2 := func() Snapshot {
+		r := NewRegistry()
+		// ...and the reverse order: the JSON must not change.
+		r.Series("s", 10).Observe(25, 5)
+		r.Histogram("h", 4, 1).Observe(2)
+		r.Gauge("z").Set(3)
+		r.Counter("a").Add(1)
+		r.Counter("b").Add(2)
+		return r.Snapshot()
+	}
+	j1, err := build().MarshalJSONDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := build2().MarshalJSONDeterministic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON depends on registration order:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mem.reads").Add(10)
+	r.Gauge("cpu.ipc").Set(1.25)
+	r.Histogram("mem.latency", 8, 4).Observe(6)
+	r.Series("ipc", 100).Observe(150, 80)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteText(&buf, "  "); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"mem.reads", "10", "cpu.ipc", "1.25", "mem.latency", "n=1", "epochs=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text snapshot missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -60,6 +60,24 @@ type Options struct {
 	// shared across drivers and differently-configured runs.
 	Checkpoint *engine.Store
 
+	// CollectStats enables the observability layer: every System gets its
+	// own metrics.Registry (queue-occupancy histograms, timing-stall
+	// breakdown, per-epoch IPC series) and Result.Report is populated with
+	// a structured RunReport. Off by default; the always-on counters
+	// (row-buffer outcomes, command counts, Result.BankUtil) are collected
+	// regardless. Reports are deterministic — identical at any Workers
+	// count for the same Seed — except for their Timing section.
+	CollectStats bool
+	// StatsEpochCycles is the per-epoch IPC series interval in CPU cycles
+	// (default 100 000). Only meaningful with CollectStats.
+	StatsEpochCycles int64
+	// Timer, when non-nil, is attached to the experiment pool so sweep
+	// drivers accumulate per-task wall-clock and worker-utilization
+	// measurements (engine.TimerSummary). Wall-clock readings are the one
+	// deliberately non-deterministic output; report canonicalization
+	// strips them.
+	Timer *engine.Timer
+
 	CPU    cpu.Config
 	LLC    cache.Config
 	Mem    mem.Config
@@ -113,6 +131,9 @@ func (o Options) withDefaults() Options {
 	}
 	o.CPU = o.CPU.Defaults()
 	o.LLC = o.LLC.Defaults()
+	if o.StatsEpochCycles == 0 {
+		o.StatsEpochCycles = 100_000
+	}
 	if o.MaxCPUCycles == 0 {
 		// Worst plausible CPI ≈ 400 for a pathological all-miss trace.
 		// Guard against overflow for phase-driven systems that set an

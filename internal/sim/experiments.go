@@ -40,6 +40,13 @@ type SingleRow struct {
 	NormIPC    []float64
 	NormEnergy []float64
 	NormPower  []float64
+	// Measured (not normalized) memory-system behaviour per HP fraction:
+	// row-buffer hit rate and mean per-bank data-burst occupancy (see
+	// Result.BankUtil). These explain the normalized series above — a
+	// rising HP fraction speeds up the misses, it does not change the hit
+	// pattern much.
+	RowHitRate []float64
+	BankUtil   []float64
 	MPKI       float64
 }
 
@@ -92,6 +99,8 @@ func fig12Row(p workload.Profile, opts Options) (SingleRow, error) {
 		NormIPC:      make([]float64, n),
 		NormEnergy:   make([]float64, n),
 		NormPower:    make([]float64, n),
+		RowHitRate:   make([]float64, n),
+		BankUtil:     make([]float64, n),
 	}
 	for i, frac := range HPFractions {
 		res, err := RunSingle(p, configFor(frac, 64), opts)
@@ -101,6 +110,8 @@ func fig12Row(p workload.Profile, opts Options) (SingleRow, error) {
 		row.NormIPC[i] = res.PerCore[0].IPC() / row.BaselineIPC
 		row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
 		row.NormPower[i] = res.PowerMW / base.PowerMW
+		row.RowHitRate[i] = res.Mem.RowBuffer.HitRate()
+		row.BankUtil[i] = res.BankUtil
 	}
 	return row, nil
 }
@@ -165,6 +176,10 @@ type MixRow struct {
 	NormWS     []float64
 	NormEnergy []float64
 	NormPower  []float64
+	// Measured row-buffer hit rate and mean per-bank data-burst occupancy
+	// per HP fraction (see SingleRow).
+	RowHitRate []float64
+	BankUtil   []float64
 }
 
 // Fig13Result aggregates the multi-core sweep (Figures 13 and 14b).
@@ -226,6 +241,8 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 				NormWS:     make([]float64, n),
 				NormEnergy: make([]float64, n),
 				NormPower:  make([]float64, n),
+				RowHitRate: make([]float64, n),
+				BankUtil:   make([]float64, n),
 			}
 			for i, frac := range HPFractions {
 				res, err := RunMix(m, configFor(frac, 64), opts)
@@ -235,6 +252,8 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 				row.NormWS[i] = WeightedSpeedup(res, m, alone) / baseWS
 				row.NormEnergy[i] = res.Energy.Total() / base.Energy.Total()
 				row.NormPower[i] = res.PowerMW / base.PowerMW
+				row.RowHitRate[i] = res.Mem.RowBuffer.HitRate()
+				row.BankUtil[i] = res.BankUtil
 			}
 			return row, nil
 		})

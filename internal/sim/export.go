@@ -48,6 +48,12 @@ func WriteFig12CSV(w io.Writer, res Fig12Result) error {
 		if err := row(r, "norm_power", r.NormPower); err != nil {
 			return err
 		}
+		if err := row(r, "row_hit_rate", r.RowHitRate); err != nil {
+			return err
+		}
+		if err := row(r, "bank_util", r.BankUtil); err != nil {
+			return err
+		}
 	}
 	cw.Flush()
 	return cw.Error()
@@ -76,6 +82,12 @@ func WriteFig13CSV(w io.Writer, res Fig13Result) error {
 			return err
 		}
 		if err := emit(r.Name, r.Group, "norm_energy", r.NormEnergy); err != nil {
+			return err
+		}
+		if err := emit(r.Name, r.Group, "row_hit_rate", r.RowHitRate); err != nil {
+			return err
+		}
+		if err := emit(r.Name, r.Group, "bank_util", r.BankUtil); err != nil {
 			return err
 		}
 	}

@@ -9,8 +9,9 @@ import (
 	"clrdram/internal/workload"
 )
 
-func TestWriteFig12CSV(t *testing.T) {
-	res := Fig12Result{Rows: []SingleRow{{
+// fig12Fixture is a one-row result exercising every WriteFig12CSV series.
+func fig12Fixture() Fig12Result {
+	return Fig12Result{Rows: []SingleRow{{
 		Name:         "w1",
 		MemIntensive: true,
 		Pattern:      workload.PatternRandom,
@@ -19,7 +20,42 @@ func TestWriteFig12CSV(t *testing.T) {
 		NormIPC:      []float64{1, 1.1, 1.2, 1.3, 1.4},
 		NormEnergy:   []float64{0.95, 0.9, 0.85, 0.8, 0.75},
 		NormPower:    []float64{1, 1, 1, 1, 1},
+		RowHitRate:   []float64{0.61, 0.62, 0.63, 0.64, 0.6512345},
+		BankUtil:     []float64{0.05, 0.06, 0.07, 0.08, 0.09},
 	}}}
+}
+
+func TestWriteFig12CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig12CSV(&buf, fig12Fixture()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 6 { // header + 5 series
+		t.Fatalf("got %d rows, want 6", len(records))
+	}
+	if records[0][0] != "workload" || records[0][len(records[0])-1] != "hp_100" {
+		t.Fatalf("header = %v", records[0])
+	}
+	if records[1][6] != "norm_ipc" || records[1][len(records[1])-1] != "1.4" {
+		t.Fatalf("ipc row = %v", records[1])
+	}
+	wantSeries := []string{"norm_ipc", "norm_energy", "norm_power", "row_hit_rate", "bank_util"}
+	for i, s := range wantSeries {
+		if got := records[i+1][6]; got != s {
+			t.Errorf("series %d = %q, want %q", i, got, s)
+		}
+	}
+}
+
+// TestFig12CSVRoundTrip checks the full row shape and float formatting: every
+// row has header-many fields and every value renders via strconv 'g'/6 (so
+// re-parsing gives back the value to six significant digits).
+func TestFig12CSVRoundTrip(t *testing.T) {
+	res := fig12Fixture()
 	var buf bytes.Buffer
 	if err := WriteFig12CSV(&buf, res); err != nil {
 		t.Fatal(err)
@@ -28,39 +64,89 @@ func TestWriteFig12CSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(records) != 4 { // header + 3 series
-		t.Fatalf("got %d rows, want 4", len(records))
+	width := len(records[0])
+	if want := 7 + len(HPFractions); width != want {
+		t.Fatalf("header width = %d, want %d", width, want)
 	}
-	if records[0][0] != "workload" || records[0][len(records[0])-1] != "hp_100" {
-		t.Fatalf("header = %v", records[0])
+	for i, rec := range records {
+		if len(rec) != width {
+			t.Fatalf("row %d has %d fields, want %d: %v", i, len(rec), width, rec)
+		}
 	}
-	if records[1][6] != "norm_ipc" || records[1][len(records[1])-1] != "1.4" {
-		t.Fatalf("ipc row = %v", records[1])
+	// Six-significant-digit 'g' formatting: 0.6512345 → "0.651234" (or
+	// "0.651235" would indicate rounding — FormatFloat truncates to
+	// round-to-even, so pin the exact string).
+	hitRow := records[4]
+	if hitRow[6] != "row_hit_rate" {
+		t.Fatalf("row 4 series = %q", hitRow[6])
+	}
+	if got, want := hitRow[len(hitRow)-1], fmtF(0.6512345); got != want {
+		t.Errorf("formatted hit rate = %q, want %q", got, want)
+	}
+	if fmtF(0.6512345) != "0.651234" && fmtF(0.6512345) != "0.651235" {
+		t.Errorf("fmtF(0.6512345) = %q, not 6 significant digits", fmtF(0.6512345))
+	}
+	// A clean value must not grow digits.
+	if got := fmtF(1.4); got != "1.4" {
+		t.Errorf("fmtF(1.4) = %q, want 1.4", got)
 	}
 }
 
-func TestWriteFig13CSV(t *testing.T) {
-	res := Fig13Result{
+func fig13Fixture() Fig13Result {
+	return Fig13Result{
 		Rows: []MixRow{{
 			Name: "H00", Group: "H",
 			NormWS:     []float64{1, 1.1, 1.2, 1.3, 1.4},
 			NormEnergy: []float64{0.9, 0.8, 0.7, 0.6, 0.5},
 			NormPower:  []float64{1, 1, 1, 1, 1},
+			RowHitRate: []float64{0.4, 0.41, 0.42, 0.43, 0.44},
+			BankUtil:   []float64{0.2, 0.21, 0.22, 0.23, 0.24},
 		}},
 		GroupWS:     map[string][]float64{"H": {1, 1.1, 1.2, 1.3, 1.4}},
 		GroupEnergy: map[string][]float64{"H": {0.9, 0.8, 0.7, 0.6, 0.5}},
 		GMeanWS:     []float64{1, 1.1, 1.2, 1.3, 1.4},
 		GMeanEnergy: []float64{0.9, 0.8, 0.7, 0.6, 0.5},
 	}
+}
+
+func TestWriteFig13CSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteFig13CSV(&buf, res); err != nil {
+	if err := WriteFig13CSV(&buf, fig13Fixture()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"H00,H,norm_ws", "GMEAN,H,norm_ws", "GMEAN,ALL,norm_energy"} {
+	for _, want := range []string{
+		"H00,H,norm_ws", "H00,H,row_hit_rate", "H00,H,bank_util",
+		"GMEAN,H,norm_ws", "GMEAN,ALL,norm_energy",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("CSV missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestFig13CSVRoundTrip checks shape: 4 series per mix + 2 per group + 2
+// overall, all with uniform width.
+func TestFig13CSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig13CSV(&buf, fig13Fixture()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 + 4 + 2 + 2; len(records) != want {
+		t.Fatalf("got %d rows, want %d", len(records), want)
+	}
+	width := 3 + len(HPFractions)
+	for i, rec := range records {
+		if len(rec) != width {
+			t.Fatalf("row %d has %d fields, want %d: %v", i, len(rec), width, rec)
+		}
+	}
+	if records[0][0] != "mix" || records[0][width-1] != "hp_100" {
+		t.Fatalf("header = %v", records[0])
 	}
 }
 

@@ -12,15 +12,19 @@ func (o Options) pool() *engine.Pool {
 	if o.Progress != nil {
 		p = p.WithProgress(o.Progress)
 	}
+	if o.Timer != nil {
+		p = p.WithTimer(o.Timer)
+	}
 	return p
 }
 
 // shardStore namespaces the optional checkpoint store for one driver. The
-// namespace encodes every run-shaping option, so shards persisted by a
-// differently-configured run (other seed, instruction budget, channel
-// count, ...) are never reused. Nil when checkpointing is off.
+// namespace encodes every run-shaping option plus a shard-schema tag ("s2"
+// since row types gained measured hit-rate/utilization fields), so shards
+// persisted by a differently-configured run — or by an older binary with a
+// different row layout — are never reused. Nil when checkpointing is off.
 func (o Options) shardStore(driver string) *engine.Store {
 	d := o.withDefaults()
-	return o.Checkpoint.Sub(fmt.Sprintf("%s-seed%d-n%d-w%d-p%d-ch%d",
+	return o.Checkpoint.Sub(fmt.Sprintf("%s-s2-seed%d-n%d-w%d-p%d-ch%d",
 		driver, d.Seed, d.TargetInstructions, d.WarmupRecords, d.ProfileRecords, d.Channels))
 }

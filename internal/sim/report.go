@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clrdram/internal/dram"
+	"clrdram/internal/engine"
+	"clrdram/internal/metrics"
+	"clrdram/internal/stats"
+)
+
+// ReportSchema identifies the RunReport JSON layout. Bump it when a field
+// changes meaning; consumers should reject schemas they do not know.
+const ReportSchema = "clrdram/run-report/v1"
+
+// SweepSchema identifies the SweepReport JSON layout.
+const SweepSchema = "clrdram/sweep-report/v1"
+
+// RunReport is the structured observability report of one simulation run,
+// produced when Options.CollectStats is set (Result.Report). Everything in
+// it except Timing is deterministic: two runs with the same Options produce
+// bit-identical reports regardless of host, load, or experiment-level worker
+// count. Timing holds wall-clock measurements and is therefore excluded from
+// the determinism contract; Canonical returns a copy with it zeroed, which
+// is what determinism tests and diff-based tooling should compare.
+//
+// OBSERVABILITY.md documents every field and metric name in detail.
+type RunReport struct {
+	Schema   string              `json:"schema"`
+	Config   ReportConfig        `json:"config"`
+	Totals   ReportTotals        `json:"totals"`
+	Cores    []CoreReport        `json:"cores"`
+	Channels []ChannelReport     `json:"channels"`
+	Metrics  metrics.Snapshot    `json:"metrics"`
+	Timing   engine.TimerSummary `json:"timing"` // non-deterministic; zero unless a Timer was attached
+}
+
+// ReportConfig summarises the run-shaping options, so a report is
+// self-describing.
+type ReportConfig struct {
+	CLR                string  `json:"clr"` // human-readable configuration name
+	CLREnabled         bool    `json:"clr_enabled"`
+	HPFraction         float64 `json:"hp_fraction"`
+	REFWms             float64 `json:"refw_ms"`
+	Channels           int     `json:"channels"`
+	Seed               int64   `json:"seed"`
+	TargetInstructions uint64  `json:"target_instructions"`
+	CPUClockGHz        float64 `json:"cpu_clock_ghz"`
+	EpochCycles        int64   `json:"epoch_cycles"` // IPC-series interval, CPU cycles
+}
+
+// ReportTotals aggregates the run across cores and channels.
+type ReportTotals struct {
+	CPUCycles     int64   `json:"cpu_cycles"`
+	DRAMCycles    int64   `json:"dram_cycles"`
+	Instructions  uint64  `json:"instructions"`
+	IPC           float64 `json:"ipc"` // aggregate: Σ instructions / CPU cycles
+	TimedOut      bool    `json:"timed_out"`
+	EnergyPJ      float64 `json:"energy_pj"`
+	PowerMW       float64 `json:"power_mw"`
+	RowHits       uint64  `json:"row_hits"`
+	RowMisses     uint64  `json:"row_misses"`
+	RowConflicts  uint64  `json:"row_conflicts"`
+	RowHitRate    float64 `json:"row_hit_rate"`
+	ReadsServed   uint64  `json:"reads_served"`
+	WritesServed  uint64  `json:"writes_served"`
+	Refreshes     uint64  `json:"refreshes"`
+	TimeoutCloses uint64  `json:"timeout_closes"`
+	CapTrips      uint64  `json:"cap_trips"`
+	BankUtil      float64 `json:"bank_util"` // mean per-bank data-burst occupancy
+}
+
+// CoreReport is one core's counters with the derived per-core metrics.
+type CoreReport struct {
+	Core              int     `json:"core"`
+	Instructions      uint64  `json:"instructions"`
+	Cycles            uint64  `json:"cycles"`
+	IPC               float64 `json:"ipc"`
+	MPKI              float64 `json:"mpki"`
+	MLP               float64 `json:"mlp"`
+	MemAccesses       uint64  `json:"mem_accesses"`
+	LLCMisses         uint64  `json:"llc_misses"`
+	RetireStallCycles uint64  `json:"retire_stall_cycles"`
+	WindowFullCycles  uint64  `json:"window_full_cycles"`
+	MSHRStallCycles   uint64  `json:"mshr_stall_cycles"`
+	MemBlockedCycles  uint64  `json:"mem_blocked_cycles"`
+}
+
+// ChannelReport is one memory channel's device-level command accounting.
+type ChannelReport struct {
+	Channel int `json:"channel"`
+	// Commands counts accepted device commands by kind mnemonic (ACT, PRE,
+	// PREA, RD, WR, REF). PREA appears here as itself; per-bank tables
+	// attribute it as one PRE per closed bank.
+	Commands map[string]uint64 `json:"commands"`
+	// ModeCommands splits the command mix by row operating mode — the HP
+	// share of ACTs is a direct measure of hot-page mapping quality.
+	ModeCommands map[string]map[string]uint64 `json:"mode_commands,omitempty"`
+	Banks        []BankReport                 `json:"banks"`
+	ReadLatency  LatencySummary               `json:"read_latency"` // enqueue→data, device cycles
+}
+
+// BankReport is one bank's command counts and utilization.
+type BankReport struct {
+	Bank int    `json:"bank"`
+	ACT  uint64 `json:"act"`
+	RD   uint64 `json:"rd"`
+	WR   uint64 `json:"wr"`
+	// Utilization is the fraction of device cycles this bank spent bursting
+	// data: (RD+WR) × BL / device cycles.
+	Utilization float64 `json:"utilization"`
+}
+
+// LatencySummary condenses a latency histogram to its headline quantiles.
+type LatencySummary struct {
+	Samples uint64  `json:"samples"`
+	Mean    float64 `json:"mean"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+}
+
+func latencySummary(h stats.Histogram) LatencySummary {
+	return LatencySummary{
+		Samples: h.Samples,
+		Mean:    h.MeanValue(),
+		P50:     h.Percentile(0.50),
+		P90:     h.Percentile(0.90),
+		P99:     h.Percentile(0.99),
+	}
+}
+
+// Canonical returns the report with its non-deterministic Timing section
+// zeroed. Two Canonical reports from runs with identical Options marshal to
+// identical bytes (encoding/json sorts all map keys).
+func (r RunReport) Canonical() RunReport {
+	r.Timing = engine.TimerSummary{}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r RunReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the report human-readably.
+func (r RunReport) WriteText(w io.Writer) error {
+	t := r.Totals
+	_, err := fmt.Fprintf(w, "== run report (%s) ==\nconfig: %s  channels=%d seed=%d target=%d\n",
+		r.Schema, r.Config.CLR, r.Config.Channels, r.Config.Seed, r.Config.TargetInstructions)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "totals: ipc=%.3f cycles(cpu/dram)=%d/%d instructions=%d timed_out=%v\n",
+		t.IPC, t.CPUCycles, t.DRAMCycles, t.Instructions, t.TimedOut)
+	fmt.Fprintf(w, "dram:   energy=%.2fµJ power=%.1fmW row-hit-rate=%.3f bank-util=%.4f cap-trips=%d\n",
+		t.EnergyPJ/1e6, t.PowerMW, t.RowHitRate, t.BankUtil, t.CapTrips)
+	fmt.Fprintf(w, "        reads=%d writes=%d refreshes=%d timeout-closes=%d\n",
+		t.ReadsServed, t.WritesServed, t.Refreshes, t.TimeoutCloses)
+	for _, c := range r.Cores {
+		fmt.Fprintf(w, "core %d: ipc=%.3f mpki=%.2f mlp=%.2f stalls(retire/window/mshr/mem)=%d/%d/%d/%d\n",
+			c.Core, c.IPC, c.MPKI, c.MLP,
+			c.RetireStallCycles, c.WindowFullCycles, c.MSHRStallCycles, c.MemBlockedCycles)
+	}
+	for _, ch := range r.Channels {
+		fmt.Fprintf(w, "ch %d:   ACT=%d PRE=%d RD=%d WR=%d REF=%d read-latency p50/p99=%.0f/%.0f\n",
+			ch.Channel, ch.Commands["ACT"], ch.Commands["PRE"], ch.Commands["RD"], ch.Commands["WR"],
+			ch.Commands["REF"], ch.ReadLatency.P50, ch.ReadLatency.P99)
+	}
+	if r.Timing.Runs > 0 {
+		fmt.Fprintf(w, "timing: wall=%.2fs busy=%.2fs workers=%d utilization=%.2f (non-deterministic)\n",
+			r.Timing.WallSeconds, r.Timing.BusySeconds, r.Timing.Workers, r.Timing.Utilization)
+	}
+	fmt.Fprintln(w, "metrics:")
+	return r.Metrics.WriteText(w, "  ")
+}
+
+// buildReport assembles the RunReport from the finished run. Called from
+// snapshotResult, only when the system carries a registry.
+func (s *System) buildReport(res *Result) *RunReport {
+	rep := &RunReport{
+		Schema: ReportSchema,
+		Config: ReportConfig{
+			CLR:                s.clr.String(),
+			CLREnabled:         s.clr.Enabled,
+			HPFraction:         s.clr.HPFraction,
+			REFWms:             s.clr.REFWms,
+			Channels:           s.opts.Channels,
+			Seed:               s.opts.Seed,
+			TargetInstructions: s.opts.TargetInstructions,
+			CPUClockGHz:        s.opts.CPUClockGHz,
+			EpochCycles:        s.opts.StatsEpochCycles,
+		},
+		Metrics: s.reg.Snapshot(),
+	}
+	var instr uint64
+	for i, c := range res.PerCore {
+		instr += c.Instructions
+		rep.Cores = append(rep.Cores, CoreReport{
+			Core:              i,
+			Instructions:      c.Instructions,
+			Cycles:            c.Cycles,
+			IPC:               c.IPC(),
+			MPKI:              c.MPKI(),
+			MLP:               c.MLP(),
+			MemAccesses:       c.MemAccesses,
+			LLCMisses:         c.LLCMisses,
+			RetireStallCycles: c.RetireStallCycles,
+			WindowFullCycles:  c.WindowFullCycles,
+			MSHRStallCycles:   c.MSHRStallCycles,
+			MemBlockedCycles:  c.MemBlockedCycles,
+		})
+	}
+	rb := res.Mem.RowBuffer
+	rep.Totals = ReportTotals{
+		CPUCycles:     res.CPUCycles,
+		DRAMCycles:    res.DRAMCycles,
+		Instructions:  instr,
+		TimedOut:      res.TimedOut,
+		EnergyPJ:      res.Energy.Total(),
+		PowerMW:       res.PowerMW,
+		RowHits:       rb.Hits,
+		RowMisses:     rb.Misses,
+		RowConflicts:  rb.Conflicts,
+		RowHitRate:    rb.HitRate(),
+		ReadsServed:   res.Mem.ReadsServed,
+		WritesServed:  res.Mem.WritesServed,
+		Refreshes:     res.Mem.Refreshes,
+		TimeoutCloses: res.Mem.TimeoutCloses,
+		CapTrips:      res.Mem.CapTrips,
+		BankUtil:      res.BankUtil,
+	}
+	if res.CPUCycles > 0 {
+		rep.Totals.IPC = float64(instr) / float64(res.CPUCycles)
+	}
+	for chIdx, ctrl := range s.ctrls {
+		dev := ctrl.Device()
+		cfg := dev.Config()
+		bl := float64(cfg.Timings[dram.ModeDefault].BL)
+		cycles := float64(dev.Clock())
+		ch := ChannelReport{
+			Channel:     chIdx,
+			Commands:    map[string]uint64{},
+			ReadLatency: latencySummary(ctrl.Stats().ReadLatency),
+		}
+		for k := 0; k < dram.NumCommandKinds; k++ {
+			if n := dev.CmdCounts[k]; n != 0 {
+				ch.Commands[dram.Kind(k).String()] = n
+			}
+		}
+		for m := dram.Mode(0); m < dram.NumModes; m++ {
+			var mix map[string]uint64
+			for k := 0; k < dram.NumCommandKinds; k++ {
+				if n := dev.ModeCommandCount(m, dram.Kind(k)); n != 0 {
+					if mix == nil {
+						mix = map[string]uint64{}
+					}
+					mix[dram.Kind(k).String()] = n
+				}
+			}
+			if mix != nil {
+				if ch.ModeCommands == nil {
+					ch.ModeCommands = map[string]map[string]uint64{}
+				}
+				ch.ModeCommands[m.String()] = mix
+			}
+		}
+		for b := 0; b < cfg.Banks(); b++ {
+			br := BankReport{
+				Bank: b,
+				ACT:  dev.BankCommandCount(b, dram.KindACT),
+				RD:   dev.BankCommandCount(b, dram.KindRD),
+				WR:   dev.BankCommandCount(b, dram.KindWR),
+			}
+			if cycles > 0 {
+				br.Utilization = float64(br.RD+br.WR) * bl / cycles
+			}
+			ch.Banks = append(ch.Banks, br)
+		}
+		rep.Channels = append(rep.Channels, ch)
+	}
+	return rep
+}
+
+// SweepReport aggregates one experiment-driver invocation (cmd/experiments
+// -stats): the figure results that were produced plus the engine's wall-clock
+// timing. Like RunReport, everything except Timing is deterministic at any
+// worker count; Canonical zeroes Timing for byte-level comparison.
+type SweepReport struct {
+	Schema             string              `json:"schema"`
+	Seed               int64               `json:"seed"`
+	TargetInstructions uint64              `json:"target_instructions"`
+	Fig12              *Fig12Result        `json:"fig12,omitempty"`
+	Fig13              *Fig13Result        `json:"fig13,omitempty"`
+	Fig15              []Fig15Row          `json:"fig15,omitempty"`
+	Fig15Fractions     []float64           `json:"fig15_fractions,omitempty"`
+	Timing             engine.TimerSummary `json:"timing"` // non-deterministic
+}
+
+// Canonical returns the report with its non-deterministic Timing zeroed.
+func (r SweepReport) Canonical() SweepReport {
+	r.Timing = engine.TimerSummary{}
+	return r
+}
+
+// WriteJSON writes the sweep report as indented JSON.
+func (r SweepReport) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText renders the sweep report's headline numbers.
+func (r SweepReport) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== sweep report (%s) seed=%d target=%d ==\n",
+		r.Schema, r.Seed, r.TargetInstructions); err != nil {
+		return err
+	}
+	series := func(label string, v []float64) {
+		fmt.Fprintf(w, "%-24s", label)
+		for _, x := range v {
+			fmt.Fprintf(w, " %6.3f", x)
+		}
+		fmt.Fprintln(w)
+	}
+	if r.Fig12 != nil {
+		fmt.Fprintf(w, "fig12: %d workloads\n", len(r.Fig12.Rows))
+		series("  gmean norm IPC", r.Fig12.GMeanIPC)
+		series("  gmean norm energy", r.Fig12.GMeanEnergy)
+	}
+	if r.Fig13 != nil {
+		fmt.Fprintf(w, "fig13: %d mixes\n", len(r.Fig13.Rows))
+		series("  gmean norm WS", r.Fig13.GMeanWS)
+		series("  gmean norm energy", r.Fig13.GMeanEnergy)
+	}
+	if len(r.Fig15) > 0 {
+		fmt.Fprintf(w, "fig15: %d tREFW settings × %d fractions\n", len(r.Fig15), len(r.Fig15Fractions))
+	}
+	tm := r.Timing
+	if tm.Runs > 0 {
+		fmt.Fprintf(w, "timing: %d engine runs, %d tasks, wall=%.2fs busy=%.2fs workers=%d utilization=%.2f (non-deterministic)\n",
+			tm.Runs, tm.Tasks, tm.WallSeconds, tm.BusySeconds, tm.Workers, tm.Utilization)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"clrdram/internal/cpu"
 	"clrdram/internal/dram"
 	"clrdram/internal/mem"
+	"clrdram/internal/metrics"
 	"clrdram/internal/power"
 	"clrdram/internal/stats"
 	"clrdram/internal/trace"
@@ -26,6 +27,13 @@ type Result struct {
 	Mem        mem.Stats
 	LLC        cache.Stats
 	TimedOut   bool
+	// BankUtil is the mean per-bank data-burst occupancy across all banks
+	// and channels: (RD+WR commands) × BL / device cycles per bank,
+	// averaged. Always computed (the underlying command counts are free).
+	BankUtil float64
+	// Report is the structured observability report, non-nil only when
+	// Options.CollectStats was set.
+	Report *RunReport
 }
 
 // IPC returns per-core IPCs.
@@ -58,6 +66,11 @@ type System struct {
 	cpuCycle   int64
 	dramAcc    float64
 	dramPerCPU float64
+
+	// Observability (nil unless Options.CollectStats): the run's registry
+	// and the per-core cumulative-instruction series feeding epoch IPC.
+	reg       *metrics.Registry
+	ipcSeries []*metrics.EpochSeries
 
 	hits      hitHeap
 	pendingWB []uint64
@@ -112,6 +125,11 @@ func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*Sys
 		return nil, err
 	}
 
+	var reg *metrics.Registry
+	if opts.CollectStats {
+		reg = metrics.NewRegistry()
+	}
+
 	ctrls := make([]*mem.Controller, opts.Channels)
 	meters := make([]*power.Meter, opts.Channels)
 	for ch := 0; ch < opts.Channels; ch++ {
@@ -125,6 +143,7 @@ func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*Sys
 		dev := dram.NewDevice(chCfg)
 		memCfg := opts.Mem
 		memCfg.Refresh = refresh
+		memCfg.Metrics = reg.Sub(fmt.Sprintf("mem.ch%d", ch)) // nil-safe: Sub of nil is nil
 		ctrl, err := mem.NewController(dev, memCfg)
 		if err != nil {
 			return nil, err
@@ -146,6 +165,7 @@ func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*Sys
 		rankings:   rankings,
 		totalPages: totalPages,
 		dramPerCPU: (1.0 / opts.CPUClockGHz) / devCfg.ClockNS,
+		reg:        reg,
 	}
 
 	s.cores = make([]*cpu.Core, len(profiles))
@@ -154,6 +174,12 @@ func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*Sys
 		rd := p.NewReader(opts.Seed + int64(i))
 		s.readers[i] = rd
 		s.cores[i] = cpu.New(i, opts.CPU, rd, (*memPort)(s), opts.TargetInstructions)
+	}
+	if reg != nil {
+		s.ipcSeries = make([]*metrics.EpochSeries, len(s.cores))
+		for i := range s.cores {
+			s.ipcSeries[i] = reg.Series(fmt.Sprintf("cpu.core%d.instructions", i), opts.StatsEpochCycles)
+		}
 	}
 
 	s.warmup()
@@ -342,6 +368,11 @@ func (s *System) step() {
 		s.dramAcc--
 	}
 	s.cpuCycle++
+	if s.ipcSeries != nil {
+		for i, c := range s.cores {
+			s.ipcSeries[i].Observe(s.cpuCycle, float64(c.Retired()))
+		}
+	}
 }
 
 // Run executes until every core reaches its instruction target (or the
@@ -391,11 +422,40 @@ func (s *System) snapshotResult(timedOut bool) Result {
 		res.Mem.WritesServed += st.WritesServed
 		res.Mem.Refreshes += st.Refreshes
 		res.Mem.TimeoutCloses += st.TimeoutCloses
+		res.Mem.CapTrips += st.CapTrips
 	}
 	for _, c := range s.cores {
 		res.PerCore = append(res.PerCore, c.Stats())
 	}
+	res.BankUtil = s.bankUtil()
+	if s.reg != nil {
+		res.Report = s.buildReport(&res)
+	}
 	return res
+}
+
+// bankUtil computes the mean per-bank data-burst occupancy over all banks
+// and channels (see Result.BankUtil).
+func (s *System) bankUtil() float64 {
+	var busy, slots float64
+	for _, ctrl := range s.ctrls {
+		dev := ctrl.Device()
+		cfg := dev.Config()
+		cycles := float64(dev.Clock())
+		if cycles == 0 {
+			continue
+		}
+		bl := float64(cfg.Timings[dram.ModeDefault].BL)
+		for b := 0; b < cfg.Banks(); b++ {
+			n := dev.BankCommandCount(b, dram.KindRD) + dev.BankCommandCount(b, dram.KindWR)
+			busy += float64(n) * bl
+			slots += cycles
+		}
+	}
+	if slots == 0 {
+		return 0
+	}
+	return busy / slots
 }
 
 // hitEvent is a scheduled LLC-hit completion.

@@ -85,11 +85,21 @@ func Median(xs []float64) float64 {
 }
 
 // CoreStats accumulates per-core performance counters during a simulation.
+// The stall counters classify cycles, not instructions: each counts cycles in
+// which the corresponding pipeline stage made zero forward progress, so the
+// same cycle can appear in both a retire-side and an issue-side counter.
 type CoreStats struct {
 	Instructions uint64 // retired instructions
 	MemAccesses  uint64 // memory instructions issued to the LLC
 	LLCMisses    uint64 // LLC load misses (defines MPKI per the paper)
 	Cycles       uint64 // core-clock cycles elapsed until this core finished
+
+	RetireStallCycles uint64 // cycles retirement made no progress (window head not ready)
+	WindowFullCycles  uint64 // cycles issue stopped immediately on a full reorder window
+	MSHRStallCycles   uint64 // cycles issue stopped immediately on the MSHR limit
+	MemBlockedCycles  uint64 // cycles issue stopped immediately on memory-system backpressure
+	MLPSum            uint64 // Σ loads in flight, over cycles with at least one in flight
+	MLPCycles         uint64 // cycles with at least one load in flight
 }
 
 // IPC returns instructions per core-clock cycle.
@@ -98,6 +108,17 @@ func (c CoreStats) IPC() float64 {
 		return 0
 	}
 	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// MLP returns the average memory-level parallelism: the mean number of loads
+// in flight over the cycles during which at least one load was in flight.
+// Workloads with high MLP overlap their DRAM latency and benefit less from
+// CLR-DRAM's latency reduction than low-MLP, pointer-chasing workloads.
+func (c CoreStats) MLP() float64 {
+	if c.MLPCycles == 0 {
+		return 0
+	}
+	return float64(c.MLPSum) / float64(c.MLPCycles)
 }
 
 // MPKI returns LLC misses per kilo-instruction, the paper's memory-intensity

@@ -1,9 +1,10 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate on top of both tiers.
+# gofmt cleanliness gate and an explicit fast-forward differential
+# identity gate (ffdiff) on top of both tiers.
 
-.PHONY: all tier1 race check fmt bench report
+.PHONY: all tier1 race check fmt ffdiff bench bench-ff report
 
 all: check
 
@@ -20,10 +21,24 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: tier1 race fmt
+# ffdiff proves the next-event fast-forward path bit-identical to the
+# ticked loop: same Result, same canonical RunReport, same figure CSVs,
+# across the full 71-profile workload set, a 4-core mix, and an
+# end-to-end Fig. 12 CSV (DESIGN.md §9). Also part of `go test ./...`;
+# called out here so `make check` names the property it guards.
+ffdiff:
+	go test ./internal/sim -run 'TestFastForwardIdentity' -count=1
+
+check: tier1 race fmt ffdiff
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
+
+# bench-ff measures the fast-forward speedup: On/Off pairs over a
+# compute-bound and a memory-intensive profile (see EXPERIMENTS.md's
+# wall-clock table for reference numbers).
+bench-ff:
+	go test -bench='BenchmarkFastForward' -run=^$$ -count=3 .
 
 # report runs a short canned experiment and emits its observability
 # report as JSON (see OBSERVABILITY.md for the schema).

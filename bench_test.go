@@ -341,6 +341,54 @@ func BenchmarkEndToEndSimulatedInstructions(b *testing.B) {
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
 }
 
+// --- internal/sim: next-event fast-forward ---
+//
+// On/off pairs run the identical workload with the event-driven cycle
+// skipper enabled and disabled (results are bit-identical by construction —
+// see TestFastForwardIdentityAllProfiles). The compute-bound profile is the
+// headline case: long pure-bubble stretches collapse into bulk skips, so
+// `make bench-ff` should show it ≥ 2× faster with the skipper on. The
+// memory-intensive profile bounds the other end, where horizons are short
+// and the skipper mostly falls back to real steps.
+
+func benchFastForward(b *testing.B, name string, ff bool) {
+	p := benchProfile(name)
+	opts := benchOpts()
+	// A longer run than the figure benches: the quantity under test is the
+	// steady-state cycle loop, so keep the fixed setup cost (trace profiling
+	// and cache warmup) small relative to the simulated region.
+	opts.TargetInstructions = 1_000_000
+	opts.WarmupRecords = 2_000
+	opts.ProfileRecords = 2_000
+	opts.DisableFastForward = !ff
+	b.ResetTimer()
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunSingle(p, core.CLR(0.5), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += res.PerCore[0].Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+func BenchmarkFastForwardComputeBoundOn(b *testing.B) {
+	benchFastForward(b, "416.gamess-like", true)
+}
+
+func BenchmarkFastForwardComputeBoundOff(b *testing.B) {
+	benchFastForward(b, "416.gamess-like", false)
+}
+
+func BenchmarkFastForwardMemIntensiveOn(b *testing.B) {
+	benchFastForward(b, "429.mcf-like", true)
+}
+
+func BenchmarkFastForwardMemIntensiveOff(b *testing.B) {
+	benchFastForward(b, "429.mcf-like", false)
+}
+
 // bn formats a sub-benchmark name.
 func bn(k string, v int) string {
 	return k + "=" + itoa(v)

@@ -65,10 +65,19 @@ func CapacityFactor(hpFraction float64) float64 { return core.CapacityFactor(hpF
 // RowModeMap tracks arbitrary per-row operating modes (one bit per row).
 type RowModeMap = core.RowModeMap
 
-// NewRowModeMap creates a map over banks × rows with all rows in
-// max-capacity mode.
-func NewRowModeMap(banks, rows int) *RowModeMap {
-	return core.NewRowModeMap(banks, rows, dram.ModeMaxCap)
+// Mode is a row operating mode: max-capacity or high-performance.
+type Mode = dram.Mode
+
+// The two CLR-DRAM row modes.
+const (
+	ModeMaxCap   = dram.ModeMaxCap
+	ModeHighPerf = dram.ModeHighPerf
+)
+
+// NewRowModeMap creates a map over banks × rows with every row in the given
+// initial mode.
+func NewRowModeMap(banks, rows int, initial Mode) *RowModeMap {
+	return core.NewRowModeMap(banks, rows, initial)
 }
 
 // Profile is a synthetic workload generator; Mix is a four-core bundle.
@@ -104,12 +113,49 @@ type (
 // DefaultOptions returns the paper's Table 2 system with fast defaults.
 func DefaultOptions() Options { return sim.DefaultOptions() }
 
+// Spec names one unit of simulation work for Run; Outcome is its result.
+// Option adjusts the run's Options functionally; RunError is the typed
+// error every run path returns on failure.
+type (
+	Spec     = sim.Spec
+	Outcome  = sim.Outcome
+	Option   = sim.Option
+	RunError = sim.RunError
+)
+
+// Run is the unified, context-aware entry point behind every simulation
+// driver. Build the spec with SingleSpec/MixSpec/..., compose options with
+// the With* functions, and cancel via ctx.
+var Run = sim.Run
+
+// Spec constructors for Run.
+var (
+	SingleSpec     = sim.SingleSpec
+	MixSpec        = sim.MixSpec
+	Fig12Spec      = sim.Fig12Spec
+	Fig13Spec      = sim.Fig13Spec
+	Fig15Spec      = sim.Fig15Spec
+	ComparisonSpec = sim.ComparisonSpec
+)
+
+// Functional options for Run.
+var (
+	WithOptions     = sim.WithOptions
+	WithWorkers     = sim.WithWorkers
+	WithStats       = sim.WithStats
+	WithFastForward = sim.WithFastForward
+)
+
 // RunSingle simulates one workload on a single core.
+//
+// Deprecated: use Run with SingleSpec.
 func RunSingle(p Profile, cfg Config, opts Options) (Result, error) {
 	return sim.RunSingle(p, cfg, opts)
 }
 
 // RunMix simulates a four-core multiprogrammed mix.
+//
+// Deprecated: use Run with MixSpec.
 func RunMix(m Mix, cfg Config, opts Options) (Result, error) {
 	return sim.RunMix(m, cfg, opts)
 }

@@ -46,10 +46,14 @@ func TestFacadeAreaAndCapacity(t *testing.T) {
 }
 
 func TestFacadeRowModeMap(t *testing.T) {
-	m := NewRowModeMap(16, 1024)
+	m := NewRowModeMap(16, 1024, ModeMaxCap)
 	m.SetHighPerf(3, 100, true)
 	if m.HPCount() != 1 {
 		t.Fatal("RowModeMap wiring broken")
+	}
+	hp := NewRowModeMap(2, 4, ModeHighPerf)
+	if hp.HPCount() != 8 {
+		t.Fatalf("HPCount = %d after ModeHighPerf init, want 8", hp.HPCount())
 	}
 }
 

@@ -19,10 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"clrdram/internal/core"
 	"clrdram/internal/sim"
@@ -47,6 +50,7 @@ func main() {
 		channels = flag.Int("channels", 1, "number of memory channels")
 		statsF   = flag.Bool("stats", false, "collect the observability report and print it after the run")
 		statsOut = flag.String("stats-out", "", "write the observability report as JSON to this file ('-' for stdout; implies stats collection)")
+		ffMode   = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
 	)
 	flag.Parse()
 
@@ -74,10 +78,20 @@ func main() {
 	opts.Seed = *seed
 	opts.Channels = *channels
 	opts.CollectStats = *statsF || *statsOut != ""
+	switch *ffMode {
+	case "on", "true", "1":
+	case "off", "false", "0":
+		opts.DisableFastForward = true
+	default:
+		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
+	}
+
+	// Ctrl-C / SIGTERM cancels the run cleanly through the context-aware API.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	run := func(c core.Config) sim.Result {
-		var res sim.Result
-		var err error
+		var spec sim.Spec
 		switch {
 		case *mixStr != "":
 			names := strings.Split(*mixStr, ",")
@@ -93,7 +107,7 @@ func main() {
 				}
 				m.Profiles[i] = p
 			}
-			res, err = sim.RunMix(m, c, opts)
+			spec = sim.MixSpec(m, c)
 		case *traceF != "":
 			f, ferr := os.Open(*traceF)
 			if ferr != nil {
@@ -108,20 +122,21 @@ func main() {
 			if werr != nil {
 				fatal(werr)
 			}
-			res, err = sim.RunSingle(p, c, opts)
+			spec = sim.SingleSpec(p, c)
 		case *name != "":
 			p, ok := workload.ByName(*name)
 			if !ok {
 				fatal(fmt.Errorf("unknown workload %q (try -list)", *name))
 			}
-			res, err = sim.RunSingle(p, c, opts)
+			spec = sim.SingleSpec(p, c)
 		default:
 			fatal(fmt.Errorf("need -workload, -mix or -trace (or -list)"))
 		}
+		out, err := sim.Run(ctx, spec, sim.WithOptions(opts))
 		if err != nil {
 			fatal(err)
 		}
-		return res
+		return *out.Single
 	}
 
 	res := run(cfg)

@@ -26,12 +26,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"syscall"
 
 	"clrdram/internal/core"
 	"clrdram/internal/engine"
@@ -63,6 +66,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint", "", "persist completed shards into this directory and resume from it")
 		statsF    = flag.Bool("stats", false, "collect observability stats and print a sweep report (with engine timings) at the end")
 		statsOut  = flag.String("stats-out", "", "write the sweep report as JSON to this file ('-' for stdout; implies -stats)")
+		ffMode    = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
 	)
 	flag.Parse()
 	if *all {
@@ -79,6 +83,18 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Progress = progressLine
+	switch *ffMode {
+	case "on", "true", "1":
+	case "off", "false", "0":
+		opts.DisableFastForward = true
+	default:
+		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
+	}
+
+	// Ctrl-C / SIGTERM cancels the sweeps cleanly; with -checkpoint the next
+	// invocation resumes from the completed shards.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var timer *engine.Timer
 	jsonOut := os.Stdout
 	if *statsF || *statsOut != "" {
@@ -149,11 +165,11 @@ func main() {
 	if *fig12 || *fig14 {
 		fmt.Printf("Running single-core sweep: %d workloads × %d HP fractions (+baseline), %d instructions each...\n",
 			len(profiles), len(sim.HPFractions), *instrs)
-		var err error
-		f12, err = sim.RunFig12(profiles, opts)
+		out, err := sim.Run(ctx, sim.Fig12Spec(profiles), sim.WithOptions(opts))
 		if err != nil {
 			fatal(err)
 		}
+		f12 = *out.Fig12
 		haveF12 = true
 		writeCSV(*csvDir, "fig12.csv", func(w *os.File) error { return sim.WriteFig12CSV(w, f12) })
 	}
@@ -186,11 +202,11 @@ func main() {
 	if *fig13 || *fig14 {
 		fmt.Printf("Running multi-core sweep: %d mixes per group × %d fractions...\n", *mixes, len(sim.HPFractions))
 		groups := workload.MixGroups(*seed, *mixes)
-		var err error
-		f13, err = sim.RunFig13(groups, opts)
+		out, err := sim.Run(ctx, sim.Fig13Spec(groups), sim.WithOptions(opts))
 		if err != nil {
 			fatal(err)
 		}
+		f13 = *out.Fig13
 		haveF13 = true
 		writeCSV(*csvDir, "fig13.csv", func(w *os.File) error { return sim.WriteFig13CSV(w, f13) })
 	}
@@ -298,10 +314,11 @@ func main() {
 		if len(intensive) > 6 {
 			intensive = intensive[:6]
 		}
-		rows, err := sim.RunComparison(intensive, 1.0, opts)
+		out, err := sim.Run(ctx, sim.ComparisonSpec(intensive, 1.0), sim.WithOptions(opts))
 		if err != nil {
 			fatal(err)
 		}
+		rows := out.Comparison
 		fmt.Printf("%-24s %8s %8s %10s %8s\n", "design", "IPC", "energy", "capacity", "dynamic")
 		for _, r := range rows {
 			fmt.Printf("%-24s %8.3f %8.3f %9.0f%% %8v\n", r.Name, r.NormIPC, r.NormEnergy, r.CapacityFactor*100, r.Dynamic)
@@ -327,10 +344,11 @@ func main() {
 			intensive = intensive[:8]
 		}
 		fracs := []float64{0.25, 0.5, 0.75, 1.0}
-		rows, err := sim.RunFig15(intensive, fracs, opts)
+		out, err := sim.Run(ctx, sim.Fig15Spec(intensive, fracs), sim.WithOptions(opts))
 		if err != nil {
 			fatal(err)
 		}
+		rows := out.Fig15
 		f15, f15Fracs = rows, fracs
 		writeCSV(*csvDir, "fig15.csv", func(w *os.File) error { return sim.WriteFig15CSV(w, rows, fracs) })
 		fmt.Println("setting      HP-frac:   25%     50%     75%    100%")

@@ -69,7 +69,7 @@ func ExampleSignalsFor() {
 
 // ExampleNewRowModeMap shows row-granularity reconfiguration bookkeeping.
 func ExampleNewRowModeMap() {
-	m := clrdram.NewRowModeMap(16, 1024)
+	m := clrdram.NewRowModeMap(16, 1024, clrdram.ModeMaxCap)
 	m.SetHighPerf(0, 42, true)
 	m.SetHighPerf(3, 7, true)
 	fmt.Printf("high-performance rows: %d (%.3f%% of device)\n",

@@ -59,18 +59,26 @@ func (t *DynamicThreshold) SetHPRows(n int) { t.hpRows = n }
 type RowModeMap struct {
 	banks, rows int
 	hp          []uint64 // bit set → high-performance
-	elseMode    dram.Mode
 	hpCount     int
 }
 
-// NewRowModeMap creates a map with every row in elseMode (max-capacity for
-// CLR devices).
-func NewRowModeMap(banks, rows int, elseMode dram.Mode) *RowModeMap {
+// NewRowModeMap creates a map with every row in the given initial mode.
+func NewRowModeMap(banks, rows int, initial dram.Mode) *RowModeMap {
 	if banks <= 0 || rows <= 0 {
 		panic(fmt.Sprintf("core: invalid geometry %dx%d", banks, rows))
 	}
-	words := (banks*rows + 63) / 64
-	return &RowModeMap{banks: banks, rows: rows, hp: make([]uint64, words), elseMode: elseMode}
+	n := banks * rows
+	m := &RowModeMap{banks: banks, rows: rows, hp: make([]uint64, (n+63)/64)}
+	if initial == dram.ModeHighPerf {
+		for w := range m.hp {
+			m.hp[w] = ^uint64(0)
+		}
+		if rem := n % 64; rem != 0 {
+			m.hp[len(m.hp)-1] = (1 << rem) - 1
+		}
+		m.hpCount = n
+	}
+	return m
 }
 
 func (m *RowModeMap) index(bank, row int) (word int, bit uint) {
@@ -105,7 +113,7 @@ func (m *RowModeMap) RowMode(bank, row int) dram.Mode {
 	if m.hp[w]&(1<<b) != 0 {
 		return dram.ModeHighPerf
 	}
-	return m.elseMode
+	return dram.ModeMaxCap
 }
 
 // HPCount returns the number of rows currently in high-performance mode.

@@ -80,6 +80,13 @@ type Core struct {
 	eof         bool
 
 	loadsInFlight int
+	// Window slots and absolute instruction sequence numbers of in-flight
+	// loads (parallel slices, ≤ MSHRs entries). An entry's sequence number
+	// is retired + count at insertion time; the head entry's is retired.
+	// They let the fast-forward path compute how many entries from the head
+	// are ready without scanning the window (see FFState).
+	loadSlots []int
+	loadSeqs  []uint64
 
 	cycle       int64
 	retired     uint64
@@ -108,12 +115,14 @@ type Core struct {
 func New(id int, cfg Config, rd trace.Reader, port MemPort, target uint64) *Core {
 	cfg = cfg.Defaults()
 	return &Core{
-		id:     id,
-		cfg:    cfg,
-		rd:     rd,
-		port:   port,
-		window: make([]int64, cfg.WindowSize),
-		target: target,
+		id:        id,
+		cfg:       cfg,
+		rd:        rd,
+		port:      port,
+		window:    make([]int64, cfg.WindowSize),
+		loadSlots: make([]int, 0, cfg.MSHRs),
+		loadSeqs:  make([]uint64, 0, cfg.MSHRs),
+		target:    target,
 	}
 }
 
@@ -250,6 +259,8 @@ func (c *Core) issue() {
 			}
 			return // memory system backpressure
 		}
+		c.loadSlots = append(c.loadSlots, slot)
+		c.loadSeqs = append(c.loadSeqs, c.retired+uint64(c.count))
 		c.loadsInFlight++
 		c.memAccesses++
 		c.insert(notReady)
@@ -270,5 +281,15 @@ func (c *Core) loadDone(slot int) func() {
 	return func() {
 		c.window[slot] = c.cycle
 		c.loadsInFlight--
+		for i, s := range c.loadSlots {
+			if s == slot {
+				last := len(c.loadSlots) - 1
+				c.loadSlots[i] = c.loadSlots[last]
+				c.loadSeqs[i] = c.loadSeqs[last]
+				c.loadSlots = c.loadSlots[:last]
+				c.loadSeqs = c.loadSeqs[:last]
+				break
+			}
+		}
 	}
 }

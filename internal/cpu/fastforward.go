@@ -1,0 +1,226 @@
+package cpu
+
+// This file is the core's half of the system simulator's next-event
+// fast-forward path (see internal/sim and DESIGN.md §9). The contract: the
+// core classifies its own next-cycle behaviour (FFState), and the sim layer
+// — after bounding the span with the LLC-hit and DRAM-controller horizons —
+// bulk-advances it with SkipBurst/SkipStalled. Both bulk operations are
+// bit-identical to calling Tick the same number of times under the declared
+// preconditions; any divergence is a bug the differential tests catch.
+
+// FFState describes whether, and how, the core can be advanced several
+// cycles at once without running Tick.
+type FFState struct {
+	// Skippable reports that — subject to NeedPortBlocked below — every one
+	// of the next cycles repeats the same state transition until an external
+	// event (load completion, span cap) intervenes.
+	Skippable bool
+
+	// Burst: the core retires RetireWidth and issues RetireWidth non-memory
+	// (bubble) instructions every cycle; MaxCycles bounds how many cycles
+	// that holds (limited by the bubble run, the ready run ahead of the
+	// oldest in-flight load, and the instruction target).
+	Burst     bool
+	MaxCycles int64
+
+	// Fill: retirement is stalled on an in-flight load at the window head
+	// while issue inserts a full IssueWidth of bubbles every cycle; MaxCycles
+	// bounds how long both hold (bubble run, window space).
+	Fill bool
+
+	// NeedPortBlocked: the pending memory record at Addr is re-attempted
+	// every cycle and the skip is valid only while the memory system keeps
+	// rejecting it. The sim layer verifies the target controller queue is
+	// full (a pure check); if the port would accept, the cycle must run for
+	// real because the LLC access mutates state.
+	NeedPortBlocked bool
+	Addr            uint64
+
+	// Per-skipped-cycle stall counters to bulk-apply (mirrors the n==0
+	// increments in retire/issue).
+	RetireStall bool
+	WindowFull  bool
+	MSHRStall   bool
+	MemBlocked  bool
+}
+
+// FFState classifies the core's next cycle for the fast-forward path. It is
+// pure: no core state changes.
+func (c *Core) FFState() FFState {
+	var st FFState
+	// Drained EOF core: once finished, every tick is a pure no-op.
+	if c.eof && c.count == 0 && !c.memPending {
+		if !c.finished {
+			return st // the finishing tick must run for real
+		}
+		st.Skippable = true
+		return st
+	}
+	// All window values written by insert/loadDone are ≤ the cycle they
+	// were written at, so a head entry greater than the current cycle is
+	// exactly an in-flight load (notReady).
+	headBlocked := c.count > 0 && c.window[c.head] > c.cycle
+	if c.count >= len(c.window) && headBlocked {
+		st.Skippable = true
+		st.RetireStall = true
+		st.WindowFull = true
+		return st
+	}
+	// A full window with a ready head is NOT terminal: retire frees
+	// RetireWidth slots before issue runs, so a bubble run keeps streaming
+	// at full width — the burst classification below covers it (the fill
+	// path self-excludes on zero free space).
+	if c.bubblesLeft > 0 {
+		if headBlocked {
+			// Blocked-head fill: retirement stalls on an in-flight load while
+			// issue streams bubbles into the window at full width. Each of
+			// the k cycles must insert exactly IssueWidth bubbles, so the
+			// span ends before either the bubble run or the free space drops
+			// below one issue group (the boundary cycle runs for real).
+			i := c.cfg.IssueWidth
+			k := int64(c.bubblesLeft / i)
+			if ks := int64((len(c.window) - c.count) / i); ks < k {
+				k = ks
+			}
+			if k < 1 {
+				return st
+			}
+			st.Skippable = true
+			st.Fill = true
+			st.RetireStall = true
+			st.MaxCycles = k
+			return st
+		}
+		r := c.cfg.RetireWidth
+		if c.cfg.IssueWidth != r || c.count < r {
+			return st
+		}
+		// Pure-bubble burst: count stays constant (retire R, insert R), and
+		// every inserted bubble is immediately ready.
+		k := int64(1) << 62
+		if len(c.loadSeqs) > 0 {
+			minSeq := c.loadSeqs[0]
+			for _, s := range c.loadSeqs[1:] {
+				if s < minSeq {
+					minSeq = s
+				}
+			}
+			k = int64((minSeq - c.retired) / uint64(r))
+		}
+		if kb := int64(c.bubblesLeft / r); kb < k {
+			k = kb
+		}
+		if !c.finished && c.target > 0 {
+			// Never let a bulk step reach the instruction target: the
+			// crossing tick freezes finishedStats and must run for real.
+			kt := int64((c.target - 1 - c.retired) / uint64(r))
+			if kt < k {
+				k = kt
+			}
+		}
+		if k < 1 {
+			return st
+		}
+		st.Skippable = true
+		st.Burst = true
+		st.MaxCycles = k
+		return st
+	}
+	// bubblesLeft == 0.
+	if c.count >= len(c.window) {
+		return st // full window with a ready head drains into a record read
+	}
+	if !c.memPending {
+		if c.eof && headBlocked {
+			// Issue returns silently at EOF; only retirement stalls.
+			st.Skippable = true
+			st.RetireStall = true
+			return st
+		}
+		return st // next tick reads a trace record or drains retirement
+	}
+	// A memory record is pending; issue re-attempts it every cycle.
+	if !headBlocked && c.count > 0 {
+		return st // retirement progresses
+	}
+	if !c.memRec.Write && c.loadsInFlight >= c.cfg.MSHRs {
+		st.Skippable = true
+		st.RetireStall = headBlocked
+		st.MSHRStall = true
+		return st
+	}
+	st.Skippable = true
+	st.RetireStall = headBlocked
+	st.NeedPortBlocked = true
+	st.Addr = c.memRec.Addr
+	st.MemBlocked = true
+	return st
+}
+
+// RetireWidth returns the configured retire width (the sim layer needs it to
+// cap bursts against external retirement ceilings, e.g. RunFor thresholds).
+func (c *Core) RetireWidth() int { return c.cfg.RetireWidth }
+
+// SkipBurst advances the core k cycles of pure-bubble execution in O(1),
+// exactly as if Tick had run k times under FFState.Burst's preconditions.
+// The k·RetireWidth freed window slots keep their stale ready-at values;
+// that is behaviourally identical because every value ever written to a
+// slot is ≤ the cycle it was written at, hence already retirable.
+func (c *Core) SkipBurst(k int64) {
+	if c.loadsInFlight > 0 {
+		c.mlpSum += uint64(c.loadsInFlight) * uint64(k)
+		c.mlpCycles += uint64(k)
+	}
+	n := k * int64(c.cfg.RetireWidth)
+	c.retired += uint64(n)
+	c.head = int((int64(c.head) + n) % int64(len(c.window)))
+	c.tail = int((int64(c.tail) + n) % int64(len(c.window)))
+	c.bubblesLeft -= int(n)
+	c.cycle += k
+}
+
+// SkipFill advances the core k cycles of blocked-head bubble filling in
+// O(k·IssueWidth) window writes, exactly as if Tick had run k times under
+// FFState.Fill's preconditions. Inserted slots get the span's start cycle
+// rather than their true insert cycle; that is behaviourally identical
+// because both are ≤ every cycle at which the slot can be compared at the
+// window head.
+func (c *Core) SkipFill(k int64) {
+	if c.loadsInFlight > 0 {
+		c.mlpSum += uint64(c.loadsInFlight) * uint64(k)
+		c.mlpCycles += uint64(k)
+	}
+	n := k * int64(c.cfg.IssueWidth)
+	for j := int64(0); j < n; j++ {
+		c.window[c.tail] = c.cycle
+		c.tail = (c.tail + 1) % len(c.window)
+	}
+	c.count += int(n)
+	c.bubblesLeft -= int(n)
+	c.retireStalls += uint64(k)
+	c.cycle += k
+}
+
+// SkipStalled advances the core k cycles in which neither retirement nor
+// issue makes progress, bulk-applying the per-cycle stall counters st
+// declared. Exactly equivalent to k Ticks under the matching FFState.
+func (c *Core) SkipStalled(k int64, st FFState) {
+	if c.loadsInFlight > 0 {
+		c.mlpSum += uint64(c.loadsInFlight) * uint64(k)
+		c.mlpCycles += uint64(k)
+	}
+	ku := uint64(k)
+	if st.RetireStall {
+		c.retireStalls += ku
+	}
+	if st.WindowFull {
+		c.windowFulls += ku
+	}
+	if st.MSHRStall {
+		c.mshrStalls += ku
+	}
+	if st.MemBlocked {
+		c.memBlocked += ku
+	}
+	c.cycle += k
+}

@@ -81,6 +81,36 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 	if d.refBusyUntil > now && cmd.Kind != KindREF {
 		return ConstraintRefresh
 	}
+	t, why := d.constraintFloor(cmd)
+	if t <= now {
+		return ConstraintNone
+	}
+	return why
+}
+
+// ConstraintSpan returns what the fast-forward path needs to classify a span
+// of no-issue cycles for cmd in bulk, assuming the device state stays frozen
+// (no command issues, only the clock advances): cycles before refUntil
+// classify ConstraintRefresh (the rank-wide tRFC prefix; always 0 for REF,
+// which folds tRFC into its floor), cycles in [refUntil, floor) classify
+// why, and cycles at or past floor classify ConstraintNone. With frozen
+// state all three values are constants, so the per-cycle BlockingConstraint
+// sequence over the span has at most three segments.
+func (d *Device) ConstraintSpan(cmd Command) (refUntil, floor int64, why Constraint) {
+	if cmd.Kind != KindREF {
+		refUntil = d.refBusyUntil
+	}
+	floor, why = d.constraintFloor(cmd)
+	return refUntil, floor, why
+}
+
+// constraintFloor returns the latest-expiring timing floor for cmd and the
+// constraint that owns it, ignoring the rank-wide tRFC prefix rule (callers
+// layer that on). Commands whose state prerequisites are unmet get a
+// never-expiring ConstraintState floor: with bank state frozen, that
+// classification cannot change until the controller acts.
+func (d *Device) constraintFloor(cmd Command) (int64, Constraint) {
+	const never = int64(1) << 62
 	t, why := int64(0), ConstraintNone
 	raise := func(floor int64, c Constraint) {
 		if floor > t {
@@ -91,7 +121,7 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 	case KindACT:
 		b := &d.banks[cmd.Bank]
 		if b.open {
-			return ConstraintState
+			return never, ConstraintState
 		}
 		raise(b.nextACT, ConstraintBank)
 		raise(d.rankNextACT, ConstraintRankACT)
@@ -103,7 +133,7 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 	case KindPRE:
 		b := &d.banks[cmd.Bank]
 		if !b.open {
-			return ConstraintState
+			return never, ConstraintState
 		}
 		raise(b.nextPRE, ConstraintBank)
 	case KindPREA:
@@ -115,7 +145,7 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 	case KindRD:
 		b := &d.banks[cmd.Bank]
 		if !b.open || b.row != cmd.Row {
-			return ConstraintState
+			return never, ConstraintState
 		}
 		raise(b.nextRD, ConstraintBank)
 		raise(d.groups[cmd.Bank/d.cfg.BanksPerGroup].nextRD, ConstraintGroupColumn)
@@ -123,7 +153,7 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 	case KindWR:
 		b := &d.banks[cmd.Bank]
 		if !b.open || b.row != cmd.Row {
-			return ConstraintState
+			return never, ConstraintState
 		}
 		raise(b.nextWR, ConstraintBank)
 		raise(d.groups[cmd.Bank/d.cfg.BanksPerGroup].nextWR, ConstraintGroupColumn)
@@ -133,15 +163,12 @@ func (d *Device) BlockingConstraint(cmd Command) Constraint {
 		for i := range d.banks {
 			b := &d.banks[i]
 			if b.open {
-				return ConstraintState
+				return never, ConstraintState
 			}
 			raise(b.nextACT, ConstraintBank)
 		}
 	default:
-		return ConstraintState
+		return never, ConstraintState
 	}
-	if t <= now {
-		return ConstraintNone
-	}
-	return why
+	return t, why
 }

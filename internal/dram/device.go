@@ -97,6 +97,13 @@ type Device struct {
 
 	refBusyUntil int64 // end of an in-flight REF (tRFC)
 
+	// openMask mirrors banks[i].open as a bitmask (bit i set ⇔ bank i open),
+	// maintained on ACT/PRE/PREA. Only valid for geometries of ≤ 64 banks;
+	// callers must check OpenBankMask's second return. It lets hot read-side
+	// paths (the fast-forward horizon's per-bank scans) iterate only the open
+	// banks instead of the whole rank.
+	openMask uint64
+
 	clock int64
 
 	// Statistics. These are always collected: they are plain array
@@ -135,11 +142,22 @@ func NewDevice(cfg Config) *Device {
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// NumBanks returns the flat bank count without copying the configuration
+// (Config is a large struct; hot per-cycle paths use this instead of
+// Config().Banks()).
+func (d *Device) NumBanks() int { return len(d.banks) }
+
 // Clock returns the current device cycle.
 func (d *Device) Clock() int64 { return d.clock }
 
 // Tick advances the device clock by one cycle.
 func (d *Device) Tick() { d.clock++ }
+
+// AdvanceClock advances the device clock by n cycles at once. It is exactly
+// n Ticks: the clock is the only per-cycle device state, so bulk-advancing it
+// is safe whenever the controller has proven no command issues in the span
+// (the fast-forward path's horizon contract, DESIGN.md §9).
+func (d *Device) AdvanceClock(n int64) { d.clock += n }
 
 // modeOf resolves the operating mode of a row.
 func (d *Device) modeOf(bankIdx, row int) Mode {
@@ -156,6 +174,14 @@ func (d *Device) timing(m Mode) *TimingSet { return &d.cfg.Timings[m] }
 func (d *Device) BankState(bankIdx int) (open bool, row int) {
 	b := &d.banks[bankIdx]
 	return b.open, b.row
+}
+
+// OpenBankMask returns the open banks as a bitmask (bit i set ⇔ bank i has
+// an open row). The second return is false when the geometry exceeds 64 banks
+// and the mask is not maintained; callers must then fall back to per-bank
+// BankState queries.
+func (d *Device) OpenBankMask() (uint64, bool) {
+	return d.openMask, len(d.banks) <= 64
 }
 
 // OpenRowIdleSince returns the cycle of the last column access to the open
@@ -273,6 +299,7 @@ func (d *Device) Issue(cmd Command) {
 		t := d.timing(m)
 		b := &d.banks[cmd.Bank]
 		b.open = true
+		d.openMask |= 1 << uint(cmd.Bank)
 		b.row = cmd.Row
 		b.mode = m
 		b.openedAt = now
@@ -292,6 +319,7 @@ func (d *Device) Issue(cmd Command) {
 		cmd.Mode = b.mode
 		cmd.Row = b.row
 		b.open = false
+		d.openMask &^= 1 << uint(cmd.Bank)
 		b.nextACT = max64(b.nextACT, now+int64(t.RP))
 	case KindPREA:
 		for i := range d.banks {
@@ -305,6 +333,7 @@ func (d *Device) Issue(cmd Command) {
 			d.bankCmds[i][KindPRE]++
 			d.modeCmds[b.mode][KindPRE]++
 		}
+		d.openMask = 0
 	case KindRD:
 		b := &d.banks[cmd.Bank]
 		t := d.timing(b.mode)

@@ -120,6 +120,19 @@ type Controller struct {
 
 	st Stats
 
+	// Memoised fast-forward horizon (see horizon.go). ffValid is cleared
+	// whenever controller or device state changes in a way the horizon
+	// depends on: request arrival, command issue, completion delivery,
+	// refresh arming/retiming, timeout closes.
+	ffHorizon int64
+	ffValid   bool
+	// Per-bank scratch reused by timeoutHorizon's single-pass queue scan,
+	// and the state-keyed memo for the timeout component (see NextEventCycle).
+	ffIdle         []int64
+	ffRow          []int
+	ffTimeout      int64
+	ffTimeoutValid bool
+
 	// Observability (nil handles when Config.Metrics is nil; see obsTick).
 	collect   bool
 	obsReadQ  *metrics.Histogram
@@ -222,6 +235,7 @@ func (c *Controller) SetRefresh(streams []RefreshStream) error {
 		c.refNext[i] = now + s.Interval
 	}
 	c.refPending = -1
+	c.ffValid = false
 	return nil
 }
 
@@ -256,6 +270,7 @@ func (c *Controller) Enqueue(req *Request) bool {
 	} else {
 		c.readQ = append(c.readQ, req)
 	}
+	c.ffValid = false
 	return true
 }
 
@@ -272,6 +287,7 @@ func (c *Controller) EnqueueDecoded(req *Request, da Address) bool {
 	} else {
 		c.readQ = append(c.readQ, req)
 	}
+	c.ffValid = false
 	return true
 }
 
@@ -281,13 +297,17 @@ func (c *Controller) EnqueueDecoded(req *Request, da Address) bool {
 func (c *Controller) Tick() {
 	now := c.dev.Clock()
 
+	fired := false
 	for c.completions.Len() > 0 && c.completions.Peek().cycle <= now {
+		fired = true
 		ev := c.completions.Pop()
 		if ev.req.OnComplete != nil {
 			ev.req.OnComplete(ev.cycle)
 		}
 	}
 
+	refBefore := c.refPending
+	closesBefore := c.st.TimeoutCloses
 	issued := c.tickRefresh(now)
 	if !issued && c.refPending == -1 {
 		// A pending refresh blocks new request scheduling: otherwise the
@@ -296,6 +316,9 @@ func (c *Controller) Tick() {
 	}
 	if !issued {
 		c.tickRowTimeout(now)
+	}
+	if issued || fired || c.refPending != refBefore || c.st.TimeoutCloses != closesBefore {
+		c.ffValid = false
 	}
 	if c.collect {
 		c.obsTick(issued)
@@ -389,7 +412,7 @@ func (c *Controller) tickRefresh(now int64) bool {
 	}
 	// Precharge the whole rank in one command if any bank is open.
 	anyOpen := false
-	banks := c.dev.Config().Banks()
+	banks := c.dev.NumBanks()
 	for b := 0; b < banks; b++ {
 		if open, _ := c.dev.BankState(b); open {
 			anyOpen = true
@@ -553,7 +576,7 @@ func (c *Controller) olderConflictExists(q []*Request, i int) bool {
 // tickRowTimeout closes rows that have been idle past the timeout and have
 // no queued requests (the paper's timeout-based row policy, Table 2 note 6).
 func (c *Controller) tickRowTimeout(now int64) {
-	banks := c.dev.Config().Banks()
+	banks := c.dev.NumBanks()
 	for b := 0; b < banks; b++ {
 		last, open := c.dev.OpenRowIdleSince(b)
 		if !open || now-last < c.timeoutCycles {

@@ -1,0 +1,459 @@
+package mem
+
+import (
+	"math/bits"
+
+	"clrdram/internal/dram"
+)
+
+// This file is the controller's half of the system simulator's next-event
+// fast-forward path (DESIGN.md §9). NextEventCycle returns a safe lower
+// bound on the first future device cycle at which Tick would do anything
+// other than advance the clock; SkipTicks then replays a span of such dead
+// cycles in bulk, bit-identically to ticking through them — including the
+// write-drain hysteresis settling, FR-FCFS-Cap trip counting, and the
+// per-cycle observability samples.
+//
+// The horizon contract: during a span in which no request arrives and the
+// horizon has not been reached, every piece of state the per-cycle Tick
+// reads is frozen (queues, bank states, timing floors, refresh schedule,
+// hit streaks) except the clock and the draining flag — and the draining
+// flag's trajectory under frozen queue lengths is fully determined (it
+// settles to a fixpoint in one step, or oscillates with period 2 when the
+// read queue is empty and the write queue sits in (0, WriteLow]). Horizons
+// may only ever be UNDERESTIMATES: a too-small horizon costs real ticks, a
+// too-large one would skip an action and diverge.
+
+// ffNever is the horizon of a controller with no future events of its own.
+const ffNever = int64(1) << 62
+
+// NextEventCycle returns the memoised horizon, recomputing it when invalid
+// or already reached. The returned cycle may be in the past relative to the
+// device clock only when an event is due immediately (the caller then takes
+// a real tick).
+//
+// A reached-but-still-valid horizon (the common case right after a skip that
+// consumed the whole dead span) means no state changed — only the clock
+// moved — so the recompute may reuse any component that is a pure function
+// of controller/device state. The timeout component is: its per-bank scan is
+// the most expensive part of the recompute, and c.ffTimeoutValid keeps it
+// across clock-only recomputes, dropping only when ffValid itself drops.
+func (c *Controller) NextEventCycle() int64 {
+	now := c.dev.Clock()
+	if !c.ffValid || c.ffHorizon <= now {
+		if !c.ffValid {
+			c.ffTimeoutValid = false
+		}
+		c.ffHorizon = c.computeHorizon(now)
+		c.ffValid = true
+	}
+	return c.ffHorizon
+}
+
+// InvalidateHorizon drops the memoised horizon. The simulator calls it after
+// mutating device state behind the controller's back (dynamic CLR-DRAM
+// reconfiguration changes row modes, and with them every timing lookup the
+// horizon was computed from).
+func (c *Controller) InvalidateHorizon() { c.ffValid = false }
+
+// computeHorizon walks every source of future controller action and returns
+// the earliest: read completions, refresh arming and armed-refresh issue,
+// schedulable request commands, and timeout row closes. Sources are visited
+// cheapest first, and the walk stops as soon as one lands at or before now:
+// the result is clamped to max(h, now), so any component ≤ now fixes the
+// answer at now regardless of the rest.
+func (c *Controller) computeHorizon(now int64) int64 {
+	h := ffNever
+	if c.completions.Len() > 0 {
+		h = min(h, c.completions.Peek().cycle)
+		if h <= now {
+			return now
+		}
+	}
+	if c.refPending != -1 {
+		// An armed refresh suppresses request scheduling and stream arming;
+		// the only scheduler-side action left is its PREA (if any bank is
+		// open) or the REF itself. EarliestIssue during tRFC returns a lower
+		// bound, which is fine: the recompute after the skip sees the floors.
+		anyOpen := false
+		if m, ok := c.dev.OpenBankMask(); ok {
+			anyOpen = m != 0
+		} else {
+			banks := c.dev.NumBanks()
+			for b := 0; b < banks; b++ {
+				if open, _ := c.dev.BankState(b); open {
+					anyOpen = true
+					break
+				}
+			}
+		}
+		if anyOpen {
+			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPREA}))
+		} else {
+			ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
+			h = min(h, c.dev.EarliestIssue(ref))
+		}
+	} else {
+		// Arming a refresh stream changes refPending — an action even when
+		// no command issues that cycle (it gates scheduling from then on).
+		pending := c.Pending() > 0
+		for i := range c.refNext {
+			h = min(h, c.refArmCycle(i, now, pending))
+		}
+		if h <= now {
+			return now
+		}
+		// tickRowTimeout runs on every cycle without an issued command — also
+		// while a refresh is armed but not yet issuable.
+		h = min(h, c.timeoutH(now))
+		if h <= now {
+			return now
+		}
+		h = min(h, c.scheduleHorizon(now))
+		return max(h, now)
+	}
+	h = min(h, c.timeoutH(now))
+	return max(h, now)
+}
+
+// refArmCycle returns the first cycle ≥ now at which tickRefresh would arm
+// stream i, reproducing its float64 predicates exactly: due means
+// float64(t) ≥ refNext[i], and with postponement enabled and work pending
+// the stream additionally waits until it is MaxPostponedRefresh intervals
+// behind. The closed-form guess is corrected against the actual predicate
+// to absorb float rounding (the predicate is monotone in t).
+func (c *Controller) refArmCycle(i int, now int64, pending bool) int64 {
+	postpone := c.cfg.MaxPostponedRefresh > 0 && pending
+	armed := func(t int64) bool {
+		ft := float64(t)
+		if ft < c.refNext[i] {
+			return false
+		}
+		if postpone {
+			behind := (ft - c.refNext[i]) / c.cfg.Refresh[i].Interval
+			if behind < float64(c.cfg.MaxPostponedRefresh) {
+				return false
+			}
+		}
+		return true
+	}
+	guess := c.refNext[i]
+	if postpone {
+		guess += c.cfg.Refresh[i].Interval * float64(c.cfg.MaxPostponedRefresh)
+	}
+	t := int64(guess)
+	if t < now {
+		t = now
+	}
+	for t > now && armed(t-1) {
+		t--
+	}
+	for !armed(t) {
+		t++
+	}
+	return t
+}
+
+// scheduleHorizon returns the first cycle at which tickSchedule could issue
+// a command, accounting for which queue the write-drain hysteresis lets it
+// scan on each cycle of the frozen span.
+func (c *Controller) scheduleHorizon(now int64) int64 {
+	t1 := c.nextDraining(c.draining)
+	t2 := c.nextDraining(t1)
+	h := ffNever
+	if t1 == t2 {
+		// Fixpoint: the same queue is scanned every cycle.
+		q := c.readQ
+		if t1 {
+			q = c.writeQ
+		}
+		for i, req := range q {
+			h = min(h, c.candidateIssue(q, i, req))
+			if h <= now {
+				return h // the caller clamps to now; no later candidate matters
+			}
+		}
+		return h
+	}
+	// Oscillation (read queue empty, write queue in (0, WriteLow]): the
+	// write queue is scanned only on cycles whose settled draining value is
+	// true — t1 at even offsets from now, t2 at odd — so a candidate whose
+	// floor expires on a read-scan cycle issues one cycle later.
+	for i, req := range c.writeQ {
+		e := max(c.candidateIssue(c.writeQ, i, req), now)
+		if e >= ffNever {
+			continue
+		}
+		scanned := t1
+		if (e-now)%2 == 1 {
+			scanned = t2
+		}
+		if !scanned {
+			e++
+		}
+		h = min(h, e)
+	}
+	return h
+}
+
+// candidateIssue returns the earliest cycle the scheduler could issue a
+// command for q[i] with all state frozen, or ffNever for a capped row hit
+// (the scheduler withholds it in both passes until something else changes).
+func (c *Controller) candidateIssue(q []*Request, i int, req *Request) int64 {
+	open, row := c.dev.BankState(req.decoded.Bank)
+	switch {
+	case open && row == req.decoded.Row:
+		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(q, i) {
+			return ffNever
+		}
+		kind := dram.KindRD
+		if req.Write {
+			kind = dram.KindWR
+		}
+		return c.dev.EarliestIssue(dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column})
+	case open:
+		return c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank})
+	default:
+		return c.dev.EarliestIssue(dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row})
+	}
+}
+
+// timeoutH serves the timeout component through its memo (see
+// NextEventCycle). A memoised value can sit below what a fresh scan at the
+// current clock would return — the scan's early-outs are clock-relative —
+// which is safe: horizons may only ever be underestimates, and a component
+// at or below now forces a real tick that fires the due timeout close and
+// drops the memo.
+func (c *Controller) timeoutH(now int64) int64 {
+	if !c.ffTimeoutValid {
+		c.ffTimeout = c.timeoutHorizon(now)
+		c.ffTimeoutValid = true
+	}
+	return c.ffTimeout
+}
+
+// timeoutHorizon returns the first cycle tickRowTimeout could close a row:
+// per open bank without a queued request for its row, the later of the idle
+// deadline and the PRE timing floor. Unlike tickRowTimeout's per-bank queue
+// scans, it exempts the open banks in a single pass over both queues — this
+// runs on every horizon recompute, where the O(banks × queue) form showed up
+// as the single hottest part of skip planning.
+func (c *Controller) timeoutHorizon(now int64) int64 {
+	openMask, ok := c.dev.OpenBankMask()
+	if !ok {
+		return c.timeoutHorizonSlow(now)
+	}
+	if openMask == 0 {
+		return ffNever
+	}
+	banks := c.dev.NumBanks()
+	if cap(c.ffIdle) < banks {
+		c.ffIdle = make([]int64, banks)
+		c.ffRow = make([]int, banks)
+	}
+	idle, rows := c.ffIdle[:banks], c.ffRow[:banks]
+	// openMask narrows from "open" to "open with no queued request" as the
+	// queue pass below strikes out exempted banks.
+	for m := openMask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		idle[b], _ = c.dev.OpenRowIdleSince(b)
+		_, rows[b] = c.dev.BankState(b)
+	}
+	for _, r := range c.readQ {
+		b := r.decoded.Bank
+		if openMask&(1<<uint(b)) != 0 && rows[b] == r.decoded.Row {
+			openMask &^= 1 << uint(b)
+		}
+	}
+	for _, r := range c.writeQ {
+		b := r.decoded.Bank
+		if openMask&(1<<uint(b)) != 0 && rows[b] == r.decoded.Row {
+			openMask &^= 1 << uint(b)
+		}
+	}
+	h := ffNever
+	for m := openMask; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
+		e := max(idle[b]+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
+		if e <= now {
+			return e
+		}
+		h = min(h, e)
+	}
+	return h
+}
+
+// timeoutHorizonSlow is the bitmask-free form for geometries beyond 64 banks.
+func (c *Controller) timeoutHorizonSlow(now int64) int64 {
+	h := ffNever
+	banks := c.dev.NumBanks()
+	for b := 0; b < banks; b++ {
+		last, open := c.dev.OpenRowIdleSince(b)
+		if !open {
+			continue
+		}
+		_, row := c.dev.BankState(b)
+		if c.rowHasQueuedRequest(b, row) {
+			continue
+		}
+		e := max(last+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
+		h = min(h, e)
+	}
+	return h
+}
+
+// nextDraining applies one step of activeQueue's hysteresis under the
+// current (frozen) queue lengths.
+func (c *Controller) nextDraining(d bool) bool {
+	if d {
+		return len(c.writeQ) > c.cfg.WriteLow
+	}
+	return len(c.writeQ) >= c.cfg.WriteHigh || (len(c.readQ) == 0 && len(c.writeQ) > 0)
+}
+
+// cappedHits counts the row hits in q that pass 1 skips with a CapTrips
+// increment: streak at the cap with an older conflicting request waiting.
+func (c *Controller) cappedHits(q []*Request) int64 {
+	var n int64
+	for i, req := range q {
+		open, row := c.dev.BankState(req.decoded.Bank)
+		if !open || row != req.decoded.Row {
+			continue
+		}
+		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(q, i) {
+			n++
+		}
+	}
+	return n
+}
+
+// SkipTicks advances the controller and device n cycles at once. The caller
+// (the sim fast-forward path) guarantees the span ends at or before the
+// horizon and that no request arrives within it, so no completion fires and
+// no command issues; what remains is exactly what n calls to Tick would do:
+// settle the draining flag, accumulate pass-1 CapTrips for scanned capped
+// hits, record the per-cycle observability samples, and advance the clock.
+func (c *Controller) SkipTicks(n int64) {
+	if n <= 0 {
+		return
+	}
+	now := c.dev.Clock()
+	schedRuns := c.refPending == -1
+	var trueCount int64 // cycles whose post-settle draining is true
+	if schedRuns {
+		t1 := c.nextDraining(c.draining)
+		t2 := c.nextDraining(t1)
+		if t1 == t2 {
+			if t1 {
+				trueCount = n
+			}
+			if trips := c.cappedHits(c.scanQueue(t1)); trips > 0 {
+				c.st.CapTrips += uint64(trips) * uint64(n)
+			}
+			c.draining = t1
+		} else {
+			// Oscillation: t1 on the 1st, 3rd, ... skipped cycle.
+			if t1 {
+				trueCount = (n + 1) / 2
+			} else {
+				trueCount = n / 2
+			}
+			// The read queue is empty here; the write queue is scanned only
+			// on draining cycles.
+			if trips := c.cappedHits(c.writeQ); trips > 0 && trueCount > 0 {
+				c.st.CapTrips += uint64(trips) * uint64(trueCount)
+			}
+			if n%2 == 1 {
+				c.draining = t1
+			} else {
+				c.draining = t2
+			}
+		}
+	}
+	if c.collect {
+		c.skipObs(n, now, trueCount, schedRuns)
+	}
+	c.dev.AdvanceClock(n)
+}
+
+// scanQueue returns the queue tickSchedule scans for a settled draining
+// value.
+func (c *Controller) scanQueue(draining bool) []*Request {
+	if draining {
+		return c.writeQ
+	}
+	return c.readQ
+}
+
+// skipObs bulk-records what obsTick would have recorded over n skipped
+// cycles starting at device cycle now (issued == false on all of them).
+func (c *Controller) skipObs(n, now, trueCount int64, schedRuns bool) {
+	c.obsReadQ.ObserveN(float64(len(c.readQ)), uint64(n))
+	c.obsWriteQ.ObserveN(float64(len(c.writeQ)), uint64(n))
+	if schedRuns {
+		c.obsDrain.Add(uint64(trueCount))
+	} else if c.draining {
+		// A pending refresh skips tickSchedule, so draining stays frozen at
+		// its pre-span value on every cycle.
+		c.obsDrain.Add(uint64(n))
+	}
+	if c.Pending() == 0 {
+		c.obsIdle.Add(uint64(n))
+		return
+	}
+	if c.refPending != -1 {
+		c.obsStalls[dram.ConstraintRefresh].Add(uint64(n))
+		return
+	}
+	// Classification queue per obsTick's fallback. In the oscillating
+	// draining regime the read queue is empty, so the fallback lands on the
+	// write queue at both parities and the choice is span-constant; in the
+	// settled regimes c.draining already holds the per-cycle value.
+	q := c.readQ
+	if c.draining || len(q) == 0 {
+		if len(c.writeQ) > 0 {
+			q = c.writeQ
+		}
+	}
+	req := q[0]
+	open, row := c.dev.BankState(req.decoded.Bank)
+	var cmd dram.Command
+	switch {
+	case open && row == req.decoded.Row:
+		kind := dram.KindRD
+		if req.Write {
+			kind = dram.KindWR
+		}
+		cmd = dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column}
+	case open:
+		cmd = dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank}
+	default:
+		cmd = dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row}
+	}
+	// With frozen state the per-cycle BlockingConstraint sequence is at most
+	// three segments: tRFC prefix, binding-floor wait, then "serviceable but
+	// withheld" (the cap).
+	refU, floor, why := c.dev.ConstraintSpan(cmd)
+	nRef := clamp64(refU-now, 0, n)
+	nWhy := clamp64(floor-now-nRef, 0, n-nRef)
+	nCap := n - nRef - nWhy
+	if nRef > 0 {
+		c.obsStalls[dram.ConstraintRefresh].Add(uint64(nRef))
+	}
+	if nWhy > 0 {
+		c.obsStalls[why].Add(uint64(nWhy))
+	}
+	if nCap > 0 {
+		c.obsCap.Add(uint64(nCap))
+	}
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

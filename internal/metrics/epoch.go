@@ -43,6 +43,20 @@ func (e *EpochSeries) Observe(clock int64, cumulative float64) {
 	e.nextAt += crossed * e.interval
 }
 
+// NextBoundary returns the clock value of the next epoch boundary — the
+// smallest clock at which Observe would record at least one delta. Callers
+// that advance the clock in bulk (the simulator's fast-forward path) use it
+// to reproduce the per-cycle observation sequence exactly: observing at each
+// boundary clock with the cumulative value that held there is bit-identical
+// to observing every cycle. A nil series reports a boundary that is never
+// reached.
+func (e *EpochSeries) NextBoundary() int64 {
+	if e == nil {
+		return int64(1) << 62
+	}
+	return e.nextAt
+}
+
 // Interval returns the epoch length (0 for a nil series).
 func (e *EpochSeries) Interval() int64 {
 	if e == nil {

@@ -32,6 +32,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -124,6 +125,39 @@ func (h *Histogram) Observe(v float64) {
 		return
 	}
 	h.counts[idx]++
+}
+
+// ObserveN records the sample v, n times. It is exactly equivalent to
+// calling Observe(v) n times — including the floating-point accumulation of
+// the running sum — but costs O(1) when the closed form is provably exact
+// (integral values within float64's exact-integer range, which covers the
+// queue-occupancy samples the simulator's fast-forward path bulk-records).
+// Otherwise it falls back to the loop.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	const exactLimit = float64(1 << 53)
+	if v == math.Trunc(v) && h.sum == math.Trunc(h.sum) &&
+		math.Abs(h.sum)+math.Abs(v)*float64(n) < exactLimit && n < 1<<53 {
+		// Every partial sum along the way is an integer below 2^53, so
+		// repeated float64 addition is exact and equals sum + n·v.
+		h.samples += n
+		h.sum += v * float64(n)
+		idx := int(v * h.invWidth)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(h.counts) {
+			h.overflow += n
+			return
+		}
+		h.counts[idx] += n
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		h.Observe(v)
+	}
 }
 
 // Samples returns the number of recorded observations.

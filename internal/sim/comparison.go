@@ -27,11 +27,14 @@ type ComparisonRow struct {
 // story: the static designs pay their capacity cost always, CLR-DRAM only
 // when (and where) the system chooses to.
 func RunComparison(profiles []workload.Profile, clrFraction float64, opts Options) ([]ComparisonRow, error) {
+	return runComparison(context.Background(), profiles, clrFraction, opts)
+}
+
+func runComparison(ctx context.Context, profiles []workload.Profile, clrFraction float64, opts Options) ([]ComparisonRow, error) {
 	alts, err := core.DefaultAlternatives(clrFraction)
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 	pool := opts.pool()
 	store := opts.shardStore(fmt.Sprintf("compare-frac%v", clrFraction))
 
@@ -41,8 +44,8 @@ func RunComparison(profiles []workload.Profile, clrFraction float64, opts Option
 	}
 	bases, err := engine.MapCheckpointed(ctx, pool, store, profiles,
 		func(_ int, p workload.Profile) string { return "base-" + p.Name },
-		func(_ context.Context, _ int, p workload.Profile) (baseRes, error) {
-			res, err := RunSingle(p, core.Baseline(), opts)
+		func(ctx context.Context, _ int, p workload.Profile) (baseRes, error) {
+			res, err := runSingle(ctx, p, core.Baseline(), opts)
 			if err != nil {
 				return baseRes{}, err
 			}
@@ -69,8 +72,8 @@ func RunComparison(profiles []workload.Profile, clrFraction float64, opts Option
 	}
 	pairs, err := engine.MapCheckpointed(ctx, pool, store, keys,
 		func(_ int, k pairKey) string { return alts[k.ai].Name + "-" + profiles[k.pi].Name },
-		func(_ context.Context, _ int, k pairKey) (ratios, error) {
-			res, err := RunSingle(profiles[k.pi], alts[k.ai].Config(), opts)
+		func(ctx context.Context, _ int, k pairKey) (ratios, error) {
+			res, err := runSingle(ctx, profiles[k.pi], alts[k.ai].Config(), opts)
 			if err != nil {
 				return ratios{}, err
 			}

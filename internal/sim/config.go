@@ -78,6 +78,14 @@ type Options struct {
 	// strips them.
 	Timer *engine.Timer
 
+	// DisableFastForward forces the per-cycle reference loop in System.Run,
+	// turning off the next-event fast-forward path. The two loops are
+	// bit-identical by contract (enforced by the differential test suite),
+	// so this exists as an escape hatch (-fastforward=off in both CLIs) and
+	// for the differential tests and benches themselves. The zero value
+	// keeps fast-forward on.
+	DisableFastForward bool
+
 	CPU    cpu.Config
 	LLC    cache.Config
 	Mem    mem.Config

@@ -67,12 +67,16 @@ type Fig12Result struct {
 // (bit-identical results at any worker count), report through
 // Options.Progress, and persist to Options.Checkpoint.
 func RunFig12(profiles []workload.Profile, opts Options) (Fig12Result, error) {
+	return runFig12(context.Background(), profiles, opts)
+}
+
+func runFig12(ctx context.Context, profiles []workload.Profile, opts Options) (Fig12Result, error) {
 	var out Fig12Result
-	rows, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("fig12"),
+	rows, err := engine.MapCheckpointed(ctx, opts.pool(), opts.shardStore("fig12"),
 		profiles,
 		func(_ int, p workload.Profile) string { return p.Name },
-		func(_ context.Context, _ int, p workload.Profile) (SingleRow, error) {
-			return fig12Row(p, opts)
+		func(ctx context.Context, _ int, p workload.Profile) (SingleRow, error) {
+			return fig12Row(ctx, p, opts)
 		})
 	if err != nil {
 		return out, err
@@ -83,9 +87,9 @@ func RunFig12(profiles []workload.Profile, opts Options) (Fig12Result, error) {
 }
 
 // fig12Row runs one workload's baseline plus the full HP-fraction sweep.
-func fig12Row(p workload.Profile, opts Options) (SingleRow, error) {
+func fig12Row(ctx context.Context, p workload.Profile, opts Options) (SingleRow, error) {
 	n := len(HPFractions)
-	base, err := RunSingle(p, core.Baseline(), opts)
+	base, err := runSingle(ctx, p, core.Baseline(), opts)
 	if err != nil {
 		return SingleRow{}, err
 	}
@@ -103,7 +107,7 @@ func fig12Row(p workload.Profile, opts Options) (SingleRow, error) {
 		BankUtil:     make([]float64, n),
 	}
 	for i, frac := range HPFractions {
-		res, err := RunSingle(p, configFor(frac, 64), opts)
+		res, err := runSingle(ctx, p, configFor(frac, 64), opts)
 		if err != nil {
 			return SingleRow{}, err
 		}
@@ -196,6 +200,10 @@ type Fig13Result struct {
 // RunFig13 reproduces Figure 13: weighted speedup and DRAM energy of
 // four-core mixes in the L/M/H intensity groups, normalized to baseline.
 func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, error) {
+	return runFig13(context.Background(), groups, opts)
+}
+
+func runFig13(ctx context.Context, groups map[string][]workload.Mix, opts Options) (Fig13Result, error) {
 	out := Fig13Result{
 		GroupWS:     map[string][]float64{},
 		GroupEnergy: map[string][]float64{},
@@ -209,7 +217,7 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 	for _, g := range groupNames {
 		allMixes = append(allMixes, groups[g]...)
 	}
-	alone, err := AloneIPCs(allMixes, opts)
+	alone, err := aloneIPCs(ctx, allMixes, opts)
 	if err != nil {
 		return out, err
 	}
@@ -226,12 +234,12 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 			tasks = append(tasks, mixTask{Group: g, Mix: m})
 		}
 	}
-	rows, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("fig13"),
+	rows, err := engine.MapCheckpointed(ctx, opts.pool(), opts.shardStore("fig13"),
 		tasks,
 		func(_ int, t mixTask) string { return t.Group + "-" + t.Mix.Name },
-		func(_ context.Context, _ int, t mixTask) (MixRow, error) {
+		func(ctx context.Context, _ int, t mixTask) (MixRow, error) {
 			m := t.Mix
-			base, err := RunMix(m, core.Baseline(), opts)
+			base, err := runMix(ctx, m, core.Baseline(), opts)
 			if err != nil {
 				return MixRow{}, err
 			}
@@ -245,7 +253,7 @@ func RunFig13(groups map[string][]workload.Mix, opts Options) (Fig13Result, erro
 				BankUtil:   make([]float64, n),
 			}
 			for i, frac := range HPFractions {
-				res, err := RunMix(m, configFor(frac, 64), opts)
+				res, err := runMix(ctx, m, configFor(frac, 64), opts)
 				if err != nil {
 					return MixRow{}, err
 				}
@@ -307,7 +315,10 @@ type Fig15Row struct {
 // workloads (geometric means; refresh energy uses the arithmetic sum ratio
 // because per-workload refresh energy can be ~0 for short runs).
 func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([]Fig15Row, error) {
-	ctx := context.Background()
+	return runFig15(context.Background(), profiles, fractions, opts)
+}
+
+func runFig15(ctx context.Context, profiles []workload.Profile, fractions []float64, opts Options) ([]Fig15Row, error) {
 	pool := opts.pool()
 	// Unlike the per-workload and per-mix drivers, a Figure 15 shard
 	// aggregates over the whole profile set, so the checkpoint namespace
@@ -322,8 +333,8 @@ func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([
 	}
 	bases, err := engine.MapCheckpointed(ctx, pool, store, profiles,
 		func(_ int, p workload.Profile) string { return "base-" + p.Name },
-		func(_ context.Context, _ int, p workload.Profile) (baseRes, error) {
-			b, err := RunSingle(p, core.Baseline(), opts)
+		func(ctx context.Context, _ int, p workload.Profile) (baseRes, error) {
+			b, err := runSingle(ctx, p, core.Baseline(), opts)
 			if err != nil {
 				return baseRes{}, err
 			}
@@ -351,12 +362,12 @@ func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([
 		func(_ int, k cellKey) string {
 			return fmt.Sprintf("refw%v-frac%v", REFWSettings[k.ri], fractions[k.fi])
 		},
-		func(_ context.Context, _ int, k cellKey) (cell, error) {
+		func(ctx context.Context, _ int, k cellKey) (cell, error) {
 			refw, frac := REFWSettings[k.ri], fractions[k.fi]
 			var perf, energy []float64
 			var refSum, refBaseSum float64
 			for i, p := range profiles {
-				res, err := RunSingle(p, configFor(frac, refw), opts)
+				res, err := runSingle(ctx, p, configFor(frac, refw), opts)
 				if err != nil {
 					return cell{}, err
 				}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"context"
+)
+
+// Next-event fast-forward (DESIGN.md §9). The per-cycle loop spends most of
+// its time in stretches where every core is stalled on a known-latency event
+// (or burning through pure-bubble instruction runs) and every controller is
+// waiting out a timing floor. In those stretches each component can name the
+// earliest future cycle its state can change; the loop jumps straight to the
+// minimum of those horizons, bulk-updating counters and epoch series so the
+// result is bit-identical to having ticked through every cycle.
+//
+// A span of k CPU cycles is skippable only when, for its whole duration:
+//   - no buffered writeback needs retrying (pendingWB empty),
+//   - no LLC-hit completion falls due (k ≤ first due − now),
+//   - every core repeats a classified transition (cpu.FFState): a pure
+//     no-op, a counted stall, or a full-width pure-bubble burst,
+//   - a port-blocked core's target queue stays full (queue lengths are
+//     frozen because nothing enqueues or issues during the span), and
+//   - no controller reaches its horizon: the device ticks accompanying the
+//     k CPU cycles stay strictly inside every controller's dead span.
+//
+// Horizons are lower bounds — an underestimate costs real ticks, never
+// correctness — and the CPU:DRAM clock ratio is walked with the exact
+// float64 accumulator operation order of step(), so the device clocks land
+// on the same cycles they would have cycle-by-cycle.
+
+const (
+	// ffMaxSpan bounds one skip so the accumulator walk and bulk updates
+	// stay cheap relative to the span they replace.
+	ffMaxSpan = int64(1) << 20
+	// ffMinSpan is the smallest span worth applying: below it the bulk
+	// updates (SkipTicks observability, epoch-series boundaries) cost about
+	// as much as just stepping, and the tiny skips they'd buy mostly occur
+	// in memory-bound stretches where planning is pure overhead.
+	ffMinSpan = 4
+	// ffCtxStride is how many loop iterations pass between ctx.Err checks.
+	ffCtxStride = 4096
+	// ffMaxBackoff caps the exponential planning backoff after failed skip
+	// attempts (pure performance heuristic: attempting fewer skips is always
+	// allowed, so results are unaffected). 64 cycles keeps the planning tax
+	// under ~2% of a memory-bound stretch while costing at most one missed
+	// span start per burst of completions.
+	ffMaxBackoff = 64
+)
+
+// runLoop drives the system until done() (or the cycle safety bound, or ctx
+// cancellation), through the fast-forward path unless disabled. ceilings,
+// when non-nil, are per-core retired-instruction bounds that bulk skips must
+// not cross (RunFor's stop condition is evaluated between real steps only).
+func (s *System) runLoop(ctx context.Context, done func() bool, ceilings []uint64) (timedOut bool, err error) {
+	ff := !s.opts.DisableFastForward
+	ctxCheck := 0
+	backoff, fails := 0, 0
+	for !done() {
+		if s.cpuCycle >= s.opts.MaxCPUCycles {
+			return true, nil
+		}
+		if ctxCheck == 0 {
+			ctxCheck = ffCtxStride
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		ctxCheck--
+		if ff {
+			if backoff > 0 {
+				backoff--
+			} else if k, devTicks, accAfter, costly := s.planSkip(ceilings); k >= ffMinSpan {
+				s.applySkip(k, devTicks, accAfter)
+				fails = 0
+				continue
+			} else if costly {
+				// Busy stretch: the plan got as far as the (expensive) horizon
+				// recomputation and still failed. Planning every cycle here
+				// would cost more than ticking — back off exponentially, reset
+				// on the next skip. Cheap pre-horizon bails (a core mid-record,
+				// a hit completion due) carry no backoff: they resolve within a
+				// cycle or two and retrying is nearly free.
+				if fails < 5 {
+					fails++
+				}
+				backoff = 1 << (fails - 1)
+				if backoff > ffMaxBackoff {
+					backoff = ffMaxBackoff
+				}
+			}
+		}
+		s.step()
+	}
+	return false, nil
+}
+
+// planSkip determines the longest skippable span from the current state. It
+// returns the CPU-cycle count k (0 if the next cycle must run for real), the
+// number of device ticks the span carries, the accumulator value after it,
+// and whether the plan got as far as the controller-horizon recomputation
+// (the expensive stage — runLoop's backoff keys off it). Core states are left
+// in s.ffStates for applySkip.
+func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float64, costly bool) {
+	if len(s.pendingWB) > 0 {
+		return 0, 0, 0, false
+	}
+	kCap := s.opts.MaxCPUCycles - s.cpuCycle
+	if kCap > ffMaxSpan {
+		kCap = ffMaxSpan
+	}
+	if s.hits.Len() > 0 {
+		d := s.hits.peek().due - s.cpuCycle
+		if d <= 0 {
+			return 0, 0, 0, false // a hit completion fires on the next step
+		}
+		if d < kCap {
+			kCap = d
+		}
+	}
+	s.ffStates = s.ffStates[:0]
+	for i, c := range s.cores {
+		st := c.FFState()
+		if !st.Skippable {
+			return 0, 0, 0, false
+		}
+		if st.Burst || st.Fill {
+			if st.MaxCycles < kCap {
+				kCap = st.MaxCycles
+			}
+		}
+		if st.Burst {
+			if ceilings != nil && c.Retired() < ceilings[i] {
+				// Never cross a RunFor ceiling mid-skip: the per-cycle loop
+				// re-evaluates its stop condition every cycle.
+				kc := int64((ceilings[i] - 1 - c.Retired()) / uint64(c.RetireWidth()))
+				if kc < kCap {
+					kCap = kc
+				}
+			}
+		}
+		if st.NeedPortBlocked {
+			// Valid only while the memory system rejects the pending record.
+			// Both Load and Store gate on the read queue (a store miss
+			// fetches the line), and queue lengths are frozen for the span.
+			global := s.bases[i] + st.Addr
+			ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
+			if s.ctrls[ch].CanEnqueue(false) {
+				return 0, 0, 0, false // the port would accept: the access must run
+			}
+		}
+		s.ffStates = append(s.ffStates, st)
+	}
+	if kCap < ffMinSpan {
+		return 0, 0, 0, false
+	}
+
+	horizon := int64(1) << 62
+	for _, ctrl := range s.ctrls {
+		if h := ctrl.NextEventCycle(); h < horizon {
+			horizon = h
+		}
+	}
+	maxDev := horizon - s.ctrls[0].Clock()
+	if maxDev < 0 {
+		maxDev = 0
+	}
+	k, devTicks, accAfter = s.walkAccumulator(kCap, maxDev)
+	return k, devTicks, accAfter, true
+}
+
+// walkAccumulator finds the largest k ≤ kMax whose span carries at most
+// maxDev device ticks, replaying step()'s exact float64 accumulator
+// operations so the post-skip accumulator is bit-identical to k real steps.
+func (s *System) walkAccumulator(kMax, maxDev int64) (k, devTicks int64, accAfter float64) {
+	acc := s.dramAcc
+	per := s.dramPerCPU
+	for k < kMax {
+		a := acc + per
+		t := devTicks
+		for a >= 1 {
+			a--
+			t++
+		}
+		if t > maxDev {
+			break
+		}
+		acc, devTicks = a, t
+		k++
+	}
+	return k, devTicks, acc
+}
+
+// applySkip advances the whole system k CPU cycles at once: epoch-series
+// boundaries are observed exactly where the per-cycle loop would have
+// observed them (with the cumulative retired count that held there), cores
+// bulk-advance per their planned FFState, controllers and devices absorb the
+// span's device ticks, and the clocks move.
+func (s *System) applySkip(k, devTicks int64, accAfter float64) {
+	if s.ipcSeries != nil {
+		end := s.cpuCycle + k
+		for i, c := range s.cores {
+			series := s.ipcSeries[i]
+			st := s.ffStates[i]
+			r0 := c.Retired()
+			for nb := series.NextBoundary(); nb <= end; nb = series.NextBoundary() {
+				r := r0
+				if st.Burst {
+					// The per-cycle loop observes after the step: at clock
+					// nb the core has retired (nb − start) further cycles'
+					// worth of instructions.
+					r += uint64(nb-s.cpuCycle) * uint64(c.RetireWidth())
+				}
+				series.Observe(nb, float64(r))
+			}
+		}
+	}
+	for i, c := range s.cores {
+		st := s.ffStates[i]
+		switch {
+		case st.Burst:
+			c.SkipBurst(k)
+		case st.Fill:
+			c.SkipFill(k)
+		default:
+			c.SkipStalled(k, st)
+		}
+	}
+	if devTicks > 0 {
+		for _, ctrl := range s.ctrls {
+			ctrl.SkipTicks(devTicks)
+		}
+	}
+	s.dramAcc = accAfter
+	s.cpuCycle += k
+	s.ffSkips++
+	s.ffSkipped += k
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"clrdram/internal/core"
+	"clrdram/internal/workload"
+)
+
+// ffDiffOpts is a deliberately small budget: the differential sweep runs
+// every profile twice (fast-forward on and off), so per-run cost is what
+// bounds the whole suite. Stats collection stays ON — the identity claim
+// covers the canonical RunReport, not just the headline Result.
+func ffDiffOpts() Options {
+	o := DefaultOptions()
+	o.TargetInstructions = 12_000
+	o.WarmupRecords = 2_000
+	o.ProfileRecords = 2_000
+	o.CollectStats = true
+	o.StatsEpochCycles = 10_000
+	return o
+}
+
+// assertIdenticalResults fails unless the two results are bit-identical:
+// every Result field compares deep-equal and the canonical RunReports
+// marshal to the same bytes.
+func assertIdenticalResults(t *testing.T, ff, ticked Result) {
+	t.Helper()
+	ffRep, tickedRep := ff.Report, ticked.Report
+	ff.Report, ticked.Report = nil, nil
+	if !reflect.DeepEqual(ff, ticked) {
+		t.Errorf("fast-forward Result diverges from ticked Result:\n ff:     %+v\n ticked: %+v", ff, ticked)
+	}
+	if (ffRep == nil) != (tickedRep == nil) {
+		t.Fatalf("report presence diverges: ff=%v ticked=%v", ffRep != nil, tickedRep != nil)
+	}
+	if ffRep == nil {
+		return
+	}
+	a, err := json.Marshal(ffRep.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(tickedRep.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical RunReport diverges:\n ff:     %s\n ticked: %s", a, b)
+	}
+}
+
+// runBothWays runs the same single-core spec with and without fast-forward
+// and returns both results.
+func runBothWays(t *testing.T, p workload.Profile, clr core.Config, opts Options) (ff, ticked Result) {
+	t.Helper()
+	on, off := opts, opts
+	on.DisableFastForward = false
+	off.DisableFastForward = true
+	ff, err := RunSingle(p, clr, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticked, err = RunSingle(p, clr, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ff, ticked
+}
+
+// TestFastForwardIdentityAllProfiles is the tentpole's acceptance test: over
+// the full 71-profile workload set, the event-driven fast-forward path must
+// produce a bit-identical Result and canonical RunReport to the one-cycle
+// ticked loop. Horizons are lower bounds, so any divergence here is a bug in
+// a horizon or bulk-update, never an accepted approximation.
+func TestFastForwardIdentityAllProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("71-profile differential sweep is not a -short test")
+	}
+	clr := core.CLR(0.5)
+	for _, p := range workload.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			ff, ticked := runBothWays(t, p, clr, ffDiffOpts())
+			assertIdenticalResults(t, ff, ticked)
+		})
+	}
+}
+
+// TestFastForwardIdentityBaseline covers the plain-DDR4 timing path (no CLR
+// relaxation, standard refresh window) on representative access patterns.
+func TestFastForwardIdentityBaseline(t *testing.T) {
+	for _, p := range []workload.Profile{streamProfile(), randomProfile(), cachedProfile()} {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			ff, ticked := runBothWays(t, p, core.Baseline(), ffDiffOpts())
+			assertIdenticalResults(t, ff, ticked)
+		})
+	}
+}
+
+// TestFastForwardIdentityMix runs a four-core mix both ways: the shared LLC,
+// per-core clock coupling and cross-core bank contention all have to survive
+// bulk skipping, which makes mixes the strongest single differential case.
+func TestFastForwardIdentityMix(t *testing.T) {
+	mix := workload.MixGroups(1, 1)[workload.GroupM][0]
+	opts := ffDiffOpts()
+	on, off := opts, opts
+	on.DisableFastForward = false
+	off.DisableFastForward = true
+	ff, err := RunMix(mix, core.CLR(0.5), on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticked, err := RunMix(mix, core.CLR(0.5), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalResults(t, ff, ticked)
+}
+
+// TestFastForwardIdentityFig12CSV checks the exported artifact end to end: a
+// Figure 12 sweep must serialise to the same CSV bytes regardless of the
+// fast-forward setting or the worker count.
+func TestFastForwardIdentityFig12CSV(t *testing.T) {
+	profiles := []workload.Profile{streamProfile(), randomProfile()}
+	opts := ffDiffOpts()
+	opts.CollectStats = false
+
+	var want []byte
+	for _, cfg := range []struct {
+		ff      bool
+		workers int
+	}{
+		{true, 1}, {true, 4}, {false, 1}, {false, 4},
+	} {
+		o := opts
+		o.DisableFastForward = !cfg.ff
+		o.Workers = cfg.workers
+		res, err := RunFig12(profiles, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFig12CSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Errorf("Fig12 CSV diverges at ff=%v workers=%d:\n want: %s\n got:  %s",
+				cfg.ff, cfg.workers, want, buf.Bytes())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"clrdram/internal/core"
@@ -118,7 +119,9 @@ func (s *System) Reconfigure(to core.Config) (ReconfigureResult, error) {
 	}
 	res.MigrationCycles = s.cpuCycle - start
 
-	// Swap in the new mapping, row-mode boundary and refresh schedule.
+	// Swap in the new mapping, row-mode boundary and refresh schedule. The
+	// row-mode change alters timing lookups behind the controllers' backs,
+	// so their memoised fast-forward horizons must be dropped.
 	s.mapper = next
 	s.threshold.SetHPRows(to.HPRows(s.devCfg.Rows))
 	streams := mem.StandardRefresh(s.devCfg.ClockNS, s.threshold.Else, to.HPFraction, to.REFWms)
@@ -126,6 +129,7 @@ func (s *System) Reconfigure(to core.Config) (ReconfigureResult, error) {
 		if err := ctrl.SetRefresh(streams); err != nil {
 			return res, err
 		}
+		ctrl.InvalidateHorizon()
 	}
 	s.clr = to
 	return res, nil
@@ -169,25 +173,18 @@ func (s *System) allDrained() bool {
 // instructions than it had (or the safety bound is hit); used to drive
 // phase-structured executions around Reconfigure calls.
 func (s *System) RunFor(n uint64) Result {
-	baseline := make([]uint64, len(s.cores))
+	ceilings := make([]uint64, len(s.cores))
 	for i, c := range s.cores {
-		baseline[i] = c.Retired()
+		ceilings[i] = c.Retired() + n
 	}
 	done := func() bool {
 		for i, c := range s.cores {
-			if c.Retired() < baseline[i]+n {
+			if c.Retired() < ceilings[i] {
 				return false
 			}
 		}
 		return true
 	}
-	timedOut := false
-	for !done() {
-		if s.cpuCycle >= s.opts.MaxCPUCycles {
-			timedOut = true
-			break
-		}
-		s.step()
-	}
+	timedOut, _ := s.runLoop(context.Background(), done, ceilings)
 	return s.snapshotResult(timedOut)
 }

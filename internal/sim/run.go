@@ -12,21 +12,45 @@ import (
 
 // RunSingle simulates one workload on one core under the given CLR-DRAM
 // configuration.
+//
+// Deprecated: use Run with SingleSpec; this wrapper delegates to it.
 func RunSingle(p workload.Profile, clr core.Config, opts Options) (Result, error) {
-	s, err := NewSystem([]workload.Profile{p}, clr, opts)
-	if err != nil {
-		return Result{}, fmt.Errorf("sim: %s under %s: %w", p.Name, clr, err)
-	}
-	return s.Run(), nil
+	return runSingle(context.Background(), p, clr, opts)
 }
 
 // RunMix simulates a four-core multiprogrammed mix.
+//
+// Deprecated: use Run with MixSpec; this wrapper delegates to it.
 func RunMix(m workload.Mix, clr core.Config, opts Options) (Result, error) {
+	return runMix(context.Background(), m, clr, opts)
+}
+
+// runSingle is the context-aware single-workload driver behind both
+// RunSingle and Run(SingleSpec).
+func runSingle(ctx context.Context, p workload.Profile, clr core.Config, opts Options) (Result, error) {
+	s, err := NewSystem([]workload.Profile{p}, clr, opts)
+	if err != nil {
+		return Result{}, runErr("single", p.Name, clr, err)
+	}
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		return Result{}, runErr("single", p.Name, clr, err)
+	}
+	return res, nil
+}
+
+// runMix is the context-aware mix driver behind both RunMix and
+// Run(MixSpec).
+func runMix(ctx context.Context, m workload.Mix, clr core.Config, opts Options) (Result, error) {
 	s, err := NewSystem(m.Profiles[:], clr, opts)
 	if err != nil {
-		return Result{}, fmt.Errorf("sim: mix %s under %s: %w", m.Name, clr, err)
+		return Result{}, runErr("mix", m.Name, clr, err)
 	}
-	return s.Run(), nil
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		return Result{}, runErr("mix", m.Name, clr, err)
+	}
+	return res, nil
 }
 
 // AloneIPCs computes the alone-run IPC of every profile in the mixes on the
@@ -35,6 +59,10 @@ func RunMix(m workload.Mix, clr core.Config, opts Options) (Result, error) {
 // on the experiment engine (one shard each), and the map is assembled only
 // after the fan-out barrier, so no shard ever touches shared state.
 func AloneIPCs(mixes []workload.Mix, opts Options) (map[string]float64, error) {
+	return aloneIPCs(context.Background(), mixes, opts)
+}
+
+func aloneIPCs(ctx context.Context, mixes []workload.Mix, opts Options) (map[string]float64, error) {
 	var unique []workload.Profile
 	seen := make(map[string]bool)
 	for _, m := range mixes {
@@ -45,17 +73,18 @@ func AloneIPCs(mixes []workload.Mix, opts Options) (map[string]float64, error) {
 			}
 		}
 	}
-	ipcs, err := engine.MapCheckpointed(context.Background(), opts.pool(), opts.shardStore("alone"),
+	ipcs, err := engine.MapCheckpointed(ctx, opts.pool(), opts.shardStore("alone"),
 		unique,
 		func(_ int, p workload.Profile) string { return p.Name },
-		func(_ context.Context, _ int, p workload.Profile) (float64, error) {
-			res, err := RunSingle(p, core.Baseline(), opts)
+		func(ctx context.Context, _ int, p workload.Profile) (float64, error) {
+			res, err := runSingle(ctx, p, core.Baseline(), opts)
 			if err != nil {
 				return 0, err
 			}
 			ipc := res.PerCore[0].IPC()
 			if ipc <= 0 {
-				return 0, fmt.Errorf("sim: alone IPC of %s is %v", p.Name, ipc)
+				return 0, runErr("alone", p.Name, core.Baseline(),
+					fmt.Errorf("alone IPC is %v", ipc))
 			}
 			return ipc, nil
 		})
@@ -84,7 +113,7 @@ func WeightedSpeedup(res Result, m workload.Mix, alone map[string]float64) float
 // misses per kilo-instruction — used to validate the MPKI > 2.0 intensity
 // classification of the workload table (§8.1).
 func MeasureMPKI(p workload.Profile, opts Options) (float64, error) {
-	res, err := RunSingle(p, core.Baseline(), opts)
+	res, err := runSingle(context.Background(), p, core.Baseline(), opts)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"clrdram/internal/core"
+	"clrdram/internal/engine"
+	"clrdram/internal/workload"
+)
+
+// Spec names one unit of simulation work for Run: a single-workload run, a
+// multiprogrammed mix, one of the paper-figure sweeps, or the related-work
+// comparison. Construct specs with the *Spec functions below; the zero Spec
+// is invalid.
+type Spec struct {
+	kind        specKind
+	profile     workload.Profile
+	mix         workload.Mix
+	clr         core.Config
+	profiles    []workload.Profile
+	groups      map[string][]workload.Mix
+	fractions   []float64
+	clrFraction float64
+}
+
+type specKind int
+
+const (
+	specInvalid specKind = iota
+	specSingle
+	specMix
+	specFig12
+	specFig13
+	specFig15
+	specComparison
+)
+
+func (k specKind) String() string {
+	switch k {
+	case specSingle:
+		return "single"
+	case specMix:
+		return "mix"
+	case specFig12:
+		return "fig12"
+	case specFig13:
+		return "fig13"
+	case specFig15:
+		return "fig15"
+	case specComparison:
+		return "comparison"
+	default:
+		return "invalid"
+	}
+}
+
+// SingleSpec runs one workload on one core under the given configuration.
+func SingleSpec(p workload.Profile, clr core.Config) Spec {
+	return Spec{kind: specSingle, profile: p, clr: clr}
+}
+
+// MixSpec runs a multiprogrammed mix under the given configuration.
+func MixSpec(m workload.Mix, clr core.Config) Spec {
+	return Spec{kind: specMix, mix: m, clr: clr}
+}
+
+// Fig12Spec runs the single-core HP-fraction sweep (Figure 12) over the
+// given workloads.
+func Fig12Spec(profiles []workload.Profile) Spec {
+	return Spec{kind: specFig12, profiles: profiles}
+}
+
+// Fig13Spec runs the multi-core sweep (Figure 13) over intensity-grouped
+// mixes.
+func Fig13Spec(groups map[string][]workload.Mix) Spec {
+	return Spec{kind: specFig13, groups: groups}
+}
+
+// Fig15Spec runs the refresh-window sweep (Figure 15) over the given
+// workloads and HP fractions.
+func Fig15Spec(profiles []workload.Profile, fractions []float64) Spec {
+	return Spec{kind: specFig15, profiles: profiles, fractions: fractions}
+}
+
+// ComparisonSpec runs the §9 related-work comparison at the given CLR HP
+// fraction.
+func ComparisonSpec(profiles []workload.Profile, clrFraction float64) Spec {
+	return Spec{kind: specComparison, profiles: profiles, clrFraction: clrFraction}
+}
+
+// Outcome carries the result of one Run; exactly the field matching the
+// spec's kind is set (Single for both SingleSpec and MixSpec).
+type Outcome struct {
+	Single     *Result
+	Fig12      *Fig12Result
+	Fig13      *Fig13Result
+	Fig15      []Fig15Row
+	Comparison []ComparisonRow
+}
+
+// Option adjusts the run's Options functionally. Options compose left to
+// right; WithOptions replaces the whole set and is conventionally first.
+type Option func(*Options)
+
+// WithOptions replaces the run's entire option set (zero fields are
+// normalised as usual). Use it to carry a pre-built Options value into Run;
+// later Option values still apply on top.
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}
+
+// WithWorkers bounds the experiment-level fan-out (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *Options) { o.Workers = n }
+}
+
+// WithCheckpoint persists completed experiment shards to st for resumption.
+func WithCheckpoint(st *engine.Store) Option {
+	return func(o *Options) { o.Checkpoint = st }
+}
+
+// WithStats toggles the observability layer (Result.Report).
+func WithStats(on bool) Option {
+	return func(o *Options) { o.CollectStats = on }
+}
+
+// WithFastForward toggles the next-event fast-forward path (on by default;
+// results are bit-identical either way).
+func WithFastForward(on bool) Option {
+	return func(o *Options) { o.DisableFastForward = !on }
+}
+
+// WithProgress attaches a progress sink for sweep drivers.
+func WithProgress(p engine.Progress) Option {
+	return func(o *Options) { o.Progress = p }
+}
+
+// WithTimer attaches a wall-clock timer to the experiment pool.
+func WithTimer(t *engine.Timer) Option {
+	return func(o *Options) { o.Timer = t }
+}
+
+// Run is the single entry point behind every simulation driver: it executes
+// spec under ctx with the composed options and returns the matching Outcome
+// field. Cancellation is uniform — every inner loop (single systems and
+// engine-fanned sweeps alike) observes ctx — and every failure is a
+// *RunError carrying the run's identity. The deprecated RunSingle, RunMix,
+// RunFig12/13/15 and RunComparison functions are thin wrappers over this.
+func Run(ctx context.Context, spec Spec, optFns ...Option) (Outcome, error) {
+	opts := DefaultOptions()
+	for _, fn := range optFns {
+		fn(&opts)
+	}
+	var out Outcome
+	switch spec.kind {
+	case specSingle:
+		res, err := runSingle(ctx, spec.profile, spec.clr, opts)
+		if err != nil {
+			return out, err
+		}
+		out.Single = &res
+	case specMix:
+		res, err := runMix(ctx, spec.mix, spec.clr, opts)
+		if err != nil {
+			return out, err
+		}
+		out.Single = &res
+	case specFig12:
+		res, err := runFig12(ctx, spec.profiles, opts)
+		if err != nil {
+			return out, runErr("fig12", "", core.Config{}, err)
+		}
+		out.Fig12 = &res
+	case specFig13:
+		res, err := runFig13(ctx, spec.groups, opts)
+		if err != nil {
+			return out, runErr("fig13", "", core.Config{}, err)
+		}
+		out.Fig13 = &res
+	case specFig15:
+		res, err := runFig15(ctx, spec.profiles, spec.fractions, opts)
+		if err != nil {
+			return out, runErr("fig15", "", core.Config{}, err)
+		}
+		out.Fig15 = res
+	case specComparison:
+		res, err := runComparison(ctx, spec.profiles, spec.clrFraction, opts)
+		if err != nil {
+			return out, runErr("comparison", "", core.Config{}, err)
+		}
+		out.Comparison = res
+	default:
+		return out, runErr("run", "", core.Config{}, fmt.Errorf("invalid Spec (use the *Spec constructors)"))
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"clrdram/internal/core"
+	"clrdram/internal/workload"
+)
+
+// TestRunSingleSpecMatchesDeprecatedWrapper pins the migration contract: the
+// deprecated RunSingle and the new Run(SingleSpec) are the same computation.
+func TestRunSingleSpecMatchesDeprecatedWrapper(t *testing.T) {
+	p, clr := randomProfile(), core.CLR(0.5)
+	opts := ffDiffOpts()
+
+	old, err := RunSingle(p, clr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), SingleSpec(p, clr), WithOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Single == nil {
+		t.Fatal("Run(SingleSpec) returned no Single outcome")
+	}
+	oldRep, newRep := old.Report, out.Single.Report
+	old.Report = nil
+	got := *out.Single
+	got.Report = nil
+	if !reflect.DeepEqual(old, got) {
+		t.Errorf("Run(SingleSpec) diverges from RunSingle:\n old: %+v\n new: %+v", old, got)
+	}
+	a, _ := json.Marshal(oldRep.Canonical())
+	b, _ := json.Marshal(newRep.Canonical())
+	if !bytes.Equal(a, b) {
+		t.Error("canonical reports diverge between RunSingle and Run(SingleSpec)")
+	}
+}
+
+// TestRunMixSpec checks the mix path populates Outcome.Single with four
+// cores' worth of results.
+func TestRunMixSpec(t *testing.T) {
+	mix := workload.MixGroups(1, 1)[workload.GroupL][0]
+	out, err := Run(context.Background(), MixSpec(mix, core.Baseline()),
+		WithOptions(ffDiffOpts()), WithStats(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Single == nil || len(out.Single.PerCore) != 4 {
+		t.Fatalf("Run(MixSpec) = %+v, want four-core Single outcome", out)
+	}
+	if out.Single.Report != nil {
+		t.Error("WithStats(false) should suppress the report")
+	}
+}
+
+// TestRunOptionsCompose checks functional options apply left to right on top
+// of the defaults (and on top of a WithOptions base).
+func TestRunOptionsCompose(t *testing.T) {
+	base := ffDiffOpts()
+	base.Workers = 7
+	var got Options
+	probe := func(o *Options) { got = *o }
+	_, _ = Run(context.Background(), SingleSpec(cachedProfile(), core.Baseline()),
+		WithOptions(base), WithWorkers(2), WithFastForward(false), WithStats(false),
+		Option(probe))
+	if got.Workers != 2 {
+		t.Errorf("Workers = %d, want 2 (later option wins)", got.Workers)
+	}
+	if !got.DisableFastForward {
+		t.Error("WithFastForward(false) should set DisableFastForward")
+	}
+	if got.CollectStats {
+		t.Error("WithStats(false) should clear CollectStats")
+	}
+	if got.TargetInstructions != base.TargetInstructions {
+		t.Error("WithOptions base not carried through")
+	}
+}
+
+// TestRunInvalidSpec checks the zero Spec is rejected with a typed error.
+func TestRunInvalidSpec(t *testing.T) {
+	_, err := Run(context.Background(), Spec{})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Driver != "run" {
+		t.Errorf("Driver = %q, want %q", re.Driver, "run")
+	}
+}
+
+// TestRunCancelled checks a pre-cancelled context aborts the run with a
+// *RunError wrapping context.Canceled, for both the direct system loop and
+// the engine-fanned sweep drivers.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, spec := range []Spec{
+		SingleSpec(randomProfile(), core.Baseline()),
+		Fig12Spec([]workload.Profile{randomProfile()}),
+	} {
+		_, err := Run(ctx, spec, WithOptions(ffDiffOpts()))
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: err = %v, want *RunError", spec.kind, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want to wrap context.Canceled", spec.kind, err)
+		}
+	}
+}
+
+// TestRunErrorIdentity checks a failing run reports which workload and
+// configuration failed.
+func TestRunErrorIdentity(t *testing.T) {
+	p := randomProfile()
+	_, err := Run(context.Background(), SingleSpec(p, core.CLR(1.5)), // HPFraction > 1
+		WithOptions(ffDiffOpts()))
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	if re.Driver != "single" || re.Workload != p.Name {
+		t.Errorf("RunError identity = (%q, %q), want (single, %s)", re.Driver, re.Workload, p.Name)
+	}
+}
+
+// TestRunFig12SpecMatchesDeprecatedWrapper pins the sweep-driver migration:
+// Run(Fig12Spec) and RunFig12 serialise to the same CSV.
+func TestRunFig12SpecMatchesDeprecatedWrapper(t *testing.T) {
+	profiles := []workload.Profile{streamProfile()}
+	opts := ffDiffOpts()
+	opts.CollectStats = false
+
+	old, err := RunFig12(profiles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(context.Background(), Fig12Spec(profiles), WithOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteFig12CSV(&a, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFig12CSV(&b, *out.Fig12); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Fig12 CSV diverges between RunFig12 and Run(Fig12Spec)")
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"clrdram/internal/cache"
@@ -74,6 +75,18 @@ type System struct {
 
 	hits      hitHeap
 	pendingWB []uint64
+
+	// Scratch buffer for the fast-forward planner (see fastforward.go),
+	// plus skip accounting (FFStats).
+	ffStates  []cpu.FFState
+	ffSkips   int64
+	ffSkipped int64
+}
+
+// FFStats reports how much of the run the fast-forward path covered: the
+// number of bulk skips applied and the total CPU cycles they absorbed.
+func (s *System) FFStats() (skips, skippedCycles int64) {
+	return s.ffSkips, s.ffSkipped
 }
 
 // NewSystem builds a system running the given per-core workload profiles
@@ -378,6 +391,13 @@ func (s *System) step() {
 // Run executes until every core reaches its instruction target (or the
 // safety bound) and returns the result.
 func (s *System) Run() Result {
+	res, _ := s.RunContext(context.Background())
+	return res
+}
+
+// RunContext is Run with cancellation: it checks ctx periodically and
+// returns ctx's error (with a zero Result) if it is cancelled mid-run.
+func (s *System) RunContext(ctx context.Context) (Result, error) {
 	allDone := func() bool {
 		for _, c := range s.cores {
 			if !c.Finished() {
@@ -386,15 +406,11 @@ func (s *System) Run() Result {
 		}
 		return true
 	}
-	timedOut := false
-	for !allDone() {
-		if s.cpuCycle >= s.opts.MaxCPUCycles {
-			timedOut = true
-			break
-		}
-		s.step()
+	timedOut, err := s.runLoop(ctx, allDone, nil)
+	if err != nil {
+		return Result{}, err
 	}
-	return s.snapshotResult(timedOut)
+	return s.snapshotResult(timedOut), nil
 }
 
 // snapshotResult assembles a Result from the current simulation state.

@@ -1,10 +1,11 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate and an explicit fast-forward differential
-# identity gate (ffdiff) on top of both tiers.
+# gofmt cleanliness gate and two explicit differential identity gates on
+# top of both tiers: ffdiff (fast-forward vs ticked simulation) and
+# ckdiff (compiled circuit kernel vs interpreted loop).
 
-.PHONY: all tier1 race check fmt ffdiff bench bench-ff report
+.PHONY: all tier1 race check fmt ffdiff ckdiff bench bench-ff bench-circuit report
 
 all: check
 
@@ -29,7 +30,17 @@ fmt:
 ffdiff:
 	go test ./internal/sim -run 'TestFastForwardIdentity' -count=1
 
-check: tier1 race fmt ffdiff
+# ckdiff proves the compiled circuit-stepping kernel bit-identical to the
+# interpreted reference loop: exact RawTimings equality over every netlist
+# (3 modes × activate/precharge/write, nominal + Monte Carlo variation
+# draws + the refresh-window sweep), plus the in-place Reparam path vs
+# rebuilding from scratch, and kernel-level stepwise identity under
+# post-compile mutation (DESIGN.md §10). Also part of `go test ./...`.
+ckdiff:
+	go test ./internal/spice -run 'TestCompiledIdentity|TestReparamMatchesRebuild' -count=1
+	go test ./internal/circuit -run 'TestKernelIdentity|TestRecompile' -count=1
+
+check: tier1 race fmt ffdiff ckdiff
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
@@ -39,6 +50,13 @@ bench:
 # wall-clock table for reference numbers).
 bench-ff:
 	go test -bench='BenchmarkFastForward' -run=^$$ -count=3 .
+
+# bench-circuit measures the compiled stepping kernel against the seed
+# configuration (interpreted loop, stop condition checked every step) at
+# three granularities — raw step, full extraction, parallel Monte Carlo
+# campaign — and writes BENCH_circuit.json (EXPERIMENTS.md table W2).
+bench-circuit:
+	go run ./cmd/circuitsim -bench -bench-out BENCH_circuit.json
 
 # report runs a short canned experiment and emits its observability
 # report as JSON (see OBSERVABILITY.md for the schema).

@@ -166,11 +166,24 @@ type CircuitParams = spice.Params
 // DefaultCircuitParams returns the calibrated nominal circuit parameters.
 func DefaultCircuitParams() CircuitParams { return spice.Default() }
 
+// TimingTableOptions configures BuildTimingTableOpts: Monte Carlo draw
+// count, seed, sigma, worker count — and Interpreted, which pins the
+// circuit solver's interpreted stepping path instead of the compiled
+// kernel (a debugging escape hatch; the two are bit-identical, see
+// `make ckdiff`).
+type TimingTableOptions = spice.TableOptions
+
 // BuildTimingTable regenerates the Table 1 / Figure 11 timing table from
 // the circuit model (Monte Carlo worst case, calibrated to the paper's
 // baseline column).
 func BuildTimingTable(p CircuitParams, iterations int, seed int64) (*TimingTable, error) {
-	return spice.BuildTimingTable(p, spice.TableOptions{Iterations: iterations, Seed: seed})
+	return BuildTimingTableOpts(p, TimingTableOptions{Iterations: iterations, Seed: seed})
+}
+
+// BuildTimingTableOpts is BuildTimingTable with the full option set
+// exposed, including the solver-path toggle.
+func BuildTimingTableOpts(p CircuitParams, opts TimingTableOptions) (*TimingTable, error) {
+	return spice.BuildTimingTable(p, opts)
 }
 
 // Advisor recommends CLR-DRAM operating points from workload demand

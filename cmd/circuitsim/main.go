@@ -6,37 +6,91 @@
 //	circuitsim -fig8              Figure 8: restoration tail / early term.
 //	circuitsim -fig11             Figure 11: tRCD/tRAS vs refresh window
 //	circuitsim -emit-timings      machine-readable timing table
+//	circuitsim -bench             solver benchmarks → BENCH_circuit.json
 //
-// -iters controls the Monte Carlo draw count (paper: 10000; default 200 for
-// interactive use).
+// -iters controls the Monte Carlo draw count (paper: 10000; default 2000 —
+// the compiled stepping kernel made the paper-scale methodology the
+// default). -ckcompile=off pins the interpreted stepping path (results are
+// bit-identical either way; see make ckdiff). -cpuprofile/-memprofile write
+// pprof profiles of whatever work the other flags select.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"testing"
 
 	"clrdram/internal/spice"
 )
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "regenerate Table 1")
-		fig7   = flag.Bool("fig7", false, "regenerate Figure 7 waveforms")
-		fig8   = flag.Bool("fig8", false, "regenerate Figure 8 (early termination)")
-		fig11  = flag.Bool("fig11", false, "regenerate Figure 11 (refresh window sweep)")
-		emit   = flag.Bool("emit-timings", false, "print the timing table in Go-literal form")
-		iters  = flag.Int("iters", 200, "Monte Carlo iterations per mode")
-		seed   = flag.Int64("seed", 1, "Monte Carlo seed")
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig7       = flag.Bool("fig7", false, "regenerate Figure 7 waveforms")
+		fig8       = flag.Bool("fig8", false, "regenerate Figure 8 (early termination)")
+		fig11      = flag.Bool("fig11", false, "regenerate Figure 11 (refresh window sweep)")
+		emit       = flag.Bool("emit-timings", false, "print the timing table in Go-literal form")
+		bench      = flag.Bool("bench", false, "run the circuit-solver benchmarks")
+		benchOut   = flag.String("bench-out", "BENCH_circuit.json", "write -bench results as JSON to this file ('-' for stdout)")
+		iters      = flag.Int("iters", 2000, "Monte Carlo iterations per mode")
+		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
+		ckMode     = flag.String("ckcompile", "on", "compiled stepping kernel, on or off (results are bit-identical either way)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
-	if !*table1 && !*fig7 && !*fig8 && !*fig11 && !*emit {
+	if !*table1 && !*fig7 && !*fig8 && !*fig11 && !*emit && !*bench {
 		*table1 = true
 	}
 	p := spice.Default()
+	var topts spice.TableOptions
+	switch *ckMode {
+	case "on", "true", "1":
+	case "off", "false", "0":
+		p.Interpreted = true
+		topts.Interpreted = true
+	default:
+		fatal(fmt.Errorf("-ckcompile must be on or off, got %q", *ckMode))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
+
+	if *bench {
+		runBench(p, *benchOut)
+	}
 
 	if *table1 || *emit {
-		tab, err := spice.BuildTimingTable(p, spice.TableOptions{Iterations: *iters, Seed: *seed})
+		o := topts
+		o.Iterations, o.Seed = *iters, *seed
+		tab, err := spice.BuildTimingTable(p, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -102,7 +156,9 @@ func main() {
 
 	if *fig11 {
 		fmt.Println("Figure 11 — tRCD and tRAS vs refresh window (high-performance mode)")
-		tab, err := spice.BuildTimingTable(p, spice.TableOptions{Iterations: *iters, Seed: *seed})
+		o := topts
+		o.Iterations, o.Seed = *iters, *seed
+		tab, err := spice.BuildTimingTable(p, o)
 		if err != nil {
 			fatal(err)
 		}
@@ -111,6 +167,134 @@ func main() {
 			fmt.Printf("%.0f\t%.2f\t%.2f\n", pt.Ms, pt.RCD, pt.RAS)
 		}
 		fmt.Printf("# sweep ends at %.0f ms (sensing limit; paper: ≈204 ms)\n", tab.MaxREFWms())
+	}
+}
+
+// benchReport is the BENCH_circuit.json schema: the compiled-kernel PR's
+// wall-clock evidence, regenerable with `make bench-circuit`.
+type benchReport struct {
+	Schema string `json:"schema"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+
+	Step struct {
+		CompiledNsPerOp     float64 `json:"compiled_ns_per_op"`
+		InterpretedNsPerOp  float64 `json:"interpreted_ns_per_op"`
+		CompiledStepsPerS   float64 `json:"compiled_steps_per_s"`
+		CompiledAllocsPerOp int64   `json:"compiled_allocs_per_op"`
+		Speedup             float64 `json:"speedup"`
+	} `json:"step"`
+
+	Extract struct {
+		CompiledNsPerOp   float64 `json:"compiled_ns_per_op"`
+		SeedConfigNsPerOp float64 `json:"seed_config_ns_per_op"`
+		Speedup           float64 `json:"speedup"`
+	} `json:"extract"`
+
+	MonteCarlo struct {
+		CompiledDrawsPerS   float64 `json:"compiled_draws_per_s"`
+		SeedConfigDrawsPerS float64 `json:"seed_config_draws_per_s"`
+		Speedup             float64 `json:"speedup"`
+	} `json:"monte_carlo"`
+}
+
+// runBench measures the stepping kernel against the configuration the repo
+// shipped before it (interpreted loop, stop condition checked every step)
+// at three granularities: one raw circuit step, one full extraction on a
+// reused netlist, and a parallel 64-draw Monte Carlo campaign.
+func runBench(p spice.Params, out string) {
+	step := func(compiled bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			s, err := spice.Build(p, spice.ModeBaseline)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := s.Circuit()
+			c.SetCompiled(compiled)
+			s.InitData(true, p.VDD)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Step(1e-12); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	extract := func(q spice.Params) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			ex := spice.Extractor{Mode: spice.ModeHighPerf}
+			initV := q.RestoreFrac * q.VDD
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.Extract(q, initV); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	const mcDraws = 64
+	mc := func(q spice.Params) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spice.MonteCarlo(q, spice.ModeHighPerf, mcDraws, 9, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	seedCfg := p
+	seedCfg.Interpreted = true
+	seedCfg.CheckStride = 1
+	compiledCfg := p
+	compiledCfg.Interpreted = false
+
+	var rep benchReport
+	rep.Schema = "clrdram/bench-circuit/v1"
+	rep.GOOS, rep.GOARCH, rep.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
+
+	fmt.Fprintln(os.Stderr, "circuitsim: benchmarking raw step...")
+	sc, si := step(true), step(false)
+	rep.Step.CompiledNsPerOp = float64(sc.NsPerOp())
+	rep.Step.InterpretedNsPerOp = float64(si.NsPerOp())
+	rep.Step.CompiledStepsPerS = 1e9 / float64(sc.NsPerOp())
+	rep.Step.CompiledAllocsPerOp = sc.AllocsPerOp()
+	rep.Step.Speedup = float64(si.NsPerOp()) / float64(sc.NsPerOp())
+
+	fmt.Fprintln(os.Stderr, "circuitsim: benchmarking extraction...")
+	ec, es := extract(compiledCfg), extract(seedCfg)
+	rep.Extract.CompiledNsPerOp = float64(ec.NsPerOp())
+	rep.Extract.SeedConfigNsPerOp = float64(es.NsPerOp())
+	rep.Extract.Speedup = float64(es.NsPerOp()) / float64(ec.NsPerOp())
+
+	fmt.Fprintln(os.Stderr, "circuitsim: benchmarking Monte Carlo campaign...")
+	mcc, mcs := mc(compiledCfg), mc(seedCfg)
+	rep.MonteCarlo.CompiledDrawsPerS = mcDraws * 1e9 / float64(mcc.NsPerOp())
+	rep.MonteCarlo.SeedConfigDrawsPerS = mcDraws * 1e9 / float64(mcs.NsPerOp())
+	rep.MonteCarlo.Speedup = float64(mcs.NsPerOp()) / float64(mcc.NsPerOp())
+
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fatal(err)
+	}
+	if out != "-" {
+		fmt.Printf("(wrote %s: step %.0f→%.0f ns [%.2fx], extract %.2f→%.2f ms [%.2fx], MC %.0f→%.0f draws/s [%.2fx])\n",
+			out,
+			rep.Step.InterpretedNsPerOp, rep.Step.CompiledNsPerOp, rep.Step.Speedup,
+			rep.Extract.SeedConfigNsPerOp/1e6, rep.Extract.CompiledNsPerOp/1e6, rep.Extract.Speedup,
+			rep.MonteCarlo.SeedConfigDrawsPerS, rep.MonteCarlo.CompiledDrawsPerS, rep.MonteCarlo.Speedup)
 	}
 }
 

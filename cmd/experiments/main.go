@@ -33,6 +33,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"syscall"
 
@@ -60,13 +61,16 @@ func main() {
 		nprof     = flag.Int("profiles", 0, "cap on single-core workloads (0 = all 71)")
 		mixes     = flag.Int("mixes", 4, "mixes per intensity group (paper: 30)")
 		seed      = flag.Int64("seed", 1, "seed")
-		mcIters   = flag.Int("iters", 100, "circuit Monte Carlo iterations for -table1")
+		mcIters   = flag.Int("iters", 2000, "circuit Monte Carlo iterations for -table1/-compare")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for experiment shards")
 		ckptDir   = flag.String("checkpoint", "", "persist completed shards into this directory and resume from it")
 		statsF    = flag.Bool("stats", false, "collect observability stats and print a sweep report (with engine timings) at the end")
 		statsOut  = flag.String("stats-out", "", "write the sweep report as JSON to this file ('-' for stdout; implies -stats)")
 		ffMode    = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
+		ckMode    = flag.String("ckcompile", "on", "compiled circuit-stepping kernel, on or off (results are bit-identical either way)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -90,6 +94,40 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
 	}
+	var spiceOpts spice.TableOptions
+	switch *ckMode {
+	case "on", "true", "1":
+	case "off", "false", "0":
+		spiceOpts.Interpreted = true
+	default:
+		fatal(fmt.Errorf("-ckcompile must be on or off, got %q", *ckMode))
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}()
 
 	// Ctrl-C / SIGTERM cancels the sweeps cleanly; with -checkpoint the next
 	// invocation resumes from the completed shards.
@@ -128,7 +166,9 @@ func main() {
 		fmt.Println("Paper's published values:")
 		fmt.Print(sim.Table1(core.DefaultTable()))
 		fmt.Printf("\nRegenerated from the circuit model (%d MC iterations):\n", *mcIters)
-		tab, err := spice.BuildTimingTable(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed, Workers: *workers})
+		o := spiceOpts
+		o.Iterations, o.Seed, o.Workers = *mcIters, *seed, *workers
+		tab, err := spice.BuildTimingTable(spice.Default(), o)
 		if err != nil {
 			fatal(err)
 		}
@@ -290,7 +330,9 @@ func main() {
 	if *compare {
 		fmt.Println("==================== §9 Related-design comparison ====================")
 		fmt.Println("Circuit-level timings (this repo's comparison topologies):")
-		alt, err := spice.BuildAlternativeTimings(spice.Default(), spice.TableOptions{Iterations: *mcIters, Seed: *seed, Workers: *workers})
+		o := spiceOpts
+		o.Iterations, o.Seed, o.Workers = *mcIters, *seed, *workers
+		alt, err := spice.BuildAlternativeTimings(spice.Default(), o)
 		if err != nil {
 			fatal(err)
 		}

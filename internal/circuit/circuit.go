@@ -11,6 +11,12 @@
 // into a bitline segment) is ≈50 ps, comfortably above the stability bound.
 // The integrator additionally guards against instability by clamping node
 // voltages to a configurable rail window and reporting divergence.
+//
+// Stepping runs through one of two paths with bit-identical results
+// (DESIGN.md §10): the interpreted loop dispatches Stamp through the Device
+// interface, while the default compiled path (Compile) flattens the devices
+// into struct-of-arrays tables and the drives into a pre-evaluated plan.
+// SetCompiled(false) pins the interpreted loop for debugging.
 package circuit
 
 import (
@@ -35,7 +41,8 @@ type Device interface {
 // Waveform drives a node's voltage as a function of time (seconds).
 type Waveform func(t float64) float64
 
-// DC returns a constant waveform.
+// DC returns a constant waveform. The compiled kernel recognises DC drives
+// and pre-evaluates them to constants in its drive plan.
 func DC(v float64) Waveform { return func(float64) float64 { return v } }
 
 // Step returns a waveform that is v0 before t0 and v1 after, with a linear
@@ -55,25 +62,41 @@ func Step(v0, v1, t0, rise float64) Waveform {
 
 // Circuit is a network under construction and simulation.
 type Circuit struct {
-	cap   []float64  // per-node capacitance to ground (F)
-	drive []Waveform // nil = floating node
-	v     []float64
-	cur   []float64
-	devs  []Device
-	names []string
-	t     float64
-	maxV  float64 // clamp window [-maxV, +maxV]
+	cap    []float64  // per-node capacitance to ground (F)
+	drive  []Waveform // nil = floating node
+	dcOK   []bool     // drive declared constant via DriveDC
+	dcV    []float64  // the constant, when dcOK
+	rampOK []bool     // drive declared a Step ramp via DriveRamp
+	rampP  []rampSpec // the ramp parameters, when rampOK
+	v      []float64
+	cur    []float64
+	devs   []Device
+	names  []string
+	maxV   float64 // clamp window [-maxV, +maxV]
+
+	// Simulation time is derived, not accumulated: t = t0 + n·dt, so 10⁵
+	// steps carry one rounding, not 10⁵ accumulated ones. A change of dt
+	// (or a Restore) rebases t0.
+	t      float64
+	t0     float64
+	nsteps int64
+	lastDt float64
+
+	useKern bool    // compiled stepping enabled (the default)
+	kern    *kernel // flattened tables; rebuilt lazily when kdirty
+	kdirty  bool
+	vdirty  bool // v was written externally: re-store constant drives
 }
 
 // New creates a circuit with only the ground node. maxV bounds node voltages
 // (e.g. 2× VDD) to catch runaway integration early.
 func New(maxV float64) *Circuit {
-	c := &Circuit{maxV: maxV}
+	c := &Circuit{maxV: maxV, useKern: true}
 	g := c.AddNode("gnd", 1e-12)
 	if g != Ground {
 		panic("circuit: ground must be node 0")
 	}
-	c.Drive(Ground, DC(0))
+	c.DriveDC(Ground, 0)
 	return c
 }
 
@@ -85,27 +108,75 @@ func (c *Circuit) AddNode(name string, capF float64) Node {
 	}
 	c.cap = append(c.cap, capF)
 	c.drive = append(c.drive, nil)
+	c.dcOK = append(c.dcOK, false)
+	c.dcV = append(c.dcV, 0)
+	c.rampOK = append(c.rampOK, false)
+	c.rampP = append(c.rampP, rampSpec{})
 	c.v = append(c.v, 0)
 	c.cur = append(c.cur, 0)
 	c.names = append(c.names, name)
+	c.invalidate()
 	return Node(len(c.cap) - 1)
 }
 
 // AddCap adds extra capacitance to an existing node.
 func (c *Circuit) AddCap(n Node, capF float64) { c.cap[n] += capF }
 
+// SetCap sets a node's capacitance to ground outright (AddCap adds). Used
+// to re-parameterise a built netlist in place.
+func (c *Circuit) SetCap(n Node, capF float64) {
+	if capF <= 0 {
+		panic(fmt.Sprintf("circuit: node %q needs positive capacitance", c.names[n]))
+	}
+	c.cap[n] = capF
+}
+
 // Drive attaches a voltage waveform to a node (nil detaches, leaving the
 // node floating from its current voltage). The waveform takes effect
 // immediately at the current simulation time.
 func (c *Circuit) Drive(n Node, w Waveform) {
 	c.drive[n] = w
+	c.dcOK[n] = false
+	c.rampOK[n] = false
 	if w != nil {
 		c.v[n] = w(c.t)
 	}
+	c.vdirty = true
+	c.invalidate()
+}
+
+// DriveDC drives a node at a constant voltage. It is semantically
+// identical to Drive(n, DC(v)) but additionally declares the drive
+// constant, letting the compiled kernel's drive plan pre-evaluate it to a
+// stored float64 instead of calling a closure every step. (Constness is
+// declared at the call site because closure identity cannot be inspected
+// reliably — inlining clones DC's body per call site.)
+func (c *Circuit) DriveDC(n Node, v float64) {
+	c.Drive(n, DC(v))
+	c.dcOK[n] = true
+	c.dcV[n] = v
+}
+
+// rampSpec holds a Step waveform's parameters for inline evaluation.
+type rampSpec struct {
+	v0, v1, t0, rise float64
+}
+
+// DriveRamp drives a node with the Step(v0, v1, t0, rise) waveform and
+// additionally declares its shape, letting the compiled kernel evaluate
+// the ramp inline (same float64 expressions as the closure body) instead
+// of making an indirect call every step.
+func (c *Circuit) DriveRamp(n Node, v0, v1, t0, rise float64) {
+	c.Drive(n, Step(v0, v1, t0, rise))
+	c.rampOK[n] = true
+	c.rampP[n] = rampSpec{v0: v0, v1: v1, t0: t0, rise: rise}
 }
 
 // SetV sets a node's initial voltage.
-func (c *Circuit) SetV(n Node, v float64) { c.v[n] = v }
+func (c *Circuit) SetV(n Node, v float64) {
+	c.v[n] = v
+	c.vdirty = true
+}
 
 // V returns a node's voltage.
 func (c *Circuit) V(n Node) float64 { return c.v[n] }
@@ -113,22 +184,82 @@ func (c *Circuit) V(n Node) float64 { return c.v[n] }
 // Time returns the simulation time in seconds.
 func (c *Circuit) Time() float64 { return c.t }
 
+// Steps returns the number of integration steps taken since the last time
+// rebase (construction, Restore, or a change of dt).
+func (c *Circuit) Steps() int64 { return c.nsteps }
+
 // Name returns a node's name (for diagnostics).
 func (c *Circuit) Name(n Node) string { return c.names[n] }
 
 // Add registers a device.
-func (c *Circuit) Add(d Device) { c.devs = append(c.devs, d) }
+func (c *Circuit) Add(d Device) {
+	c.devs = append(c.devs, d)
+	c.invalidate()
+}
+
+// SetCompiled selects the stepping path: true (the default) steps through
+// the compiled kernel, false pins the interpreted per-device loop. Both
+// produce bit-identical results; the toggle exists as a debugging escape
+// hatch and as the differential oracle for the identity tests.
+func (c *Circuit) SetCompiled(on bool) { c.useKern = on }
+
+// Compiled reports whether the compiled stepping path is enabled.
+func (c *Circuit) Compiled() bool { return c.useKern }
+
+// Compile flattens the registered devices into the kernel's struct-of-
+// arrays tables and the drives into a drive plan (see kernel.go). It is
+// idempotent, invoked automatically by Step when the compiled path is
+// enabled, and transparently re-run after any structural mutation
+// (Add/AddNode/Drive) so a stale kernel can never produce wrong currents.
+func (c *Circuit) Compile() {
+	if c.kern == nil || c.kdirty {
+		c.compile()
+	}
+}
+
+// invalidate marks the compiled kernel stale after a structural mutation.
+func (c *Circuit) invalidate() { c.kdirty = true }
+
+// Invalidate marks the compiled kernel stale. Add/AddNode/Drive call it
+// automatically; callers that mutate device fields in place through
+// retained pointers (spice.Subarray.Reparam writing a new draw's K, Vt, G
+// or I values) must call it themselves so the next Step rebuilds the
+// flattened tables from the updated devices.
+func (c *Circuit) Invalidate() { c.invalidate() }
+
+// advance moves the clock one step of dt, deriving t = t0 + n·dt. Both
+// stepping paths share it, so time is bit-identical between them.
+func (c *Circuit) advance(dt float64) {
+	if dt != c.lastDt {
+		c.t0 = c.t
+		c.nsteps = 0
+		c.lastDt = dt
+	}
+	c.nsteps++
+	c.t = c.t0 + float64(c.nsteps)*dt
+}
 
 // Step advances the circuit by dt seconds. It returns an error if any node
 // voltage left the clamp window (integration blow-up) or went NaN.
 func (c *Circuit) Step(dt float64) error {
+	if c.useKern {
+		c.Compile()
+		return c.stepCompiled(dt)
+	}
+	return c.stepInterpreted(dt)
+}
+
+// stepInterpreted is the reference per-device dispatch loop. The compiled
+// path must reproduce its float64 operations in the same order exactly
+// (the bit-identity contract, DESIGN.md §10).
+func (c *Circuit) stepInterpreted(dt float64) error {
 	for i := range c.cur {
 		c.cur[i] = 0
 	}
 	for _, d := range c.devs {
 		d.Stamp(c.v, c.cur)
 	}
-	c.t += dt
+	c.advance(dt)
 	for i := range c.v {
 		if w := c.drive[i]; w != nil {
 			c.v[i] = w(c.t)
@@ -154,6 +285,57 @@ func (c *Circuit) RunUntil(dt, tEnd float64, stop func(*Circuit) bool) (float64,
 		}
 	}
 	return c.t, false, nil
+}
+
+// State is a snapshot of the circuit's dynamic state (node voltages,
+// drives, clock) against a fixed structure. It exists so a built netlist
+// can be reset to a recorded point instead of being rebuilt — the basis of
+// spice.Subarray.Reparam's per-iteration reuse.
+type State struct {
+	v      []float64
+	drive  []Waveform
+	dcOK   []bool
+	dcV    []float64
+	rampOK []bool
+	rampP  []rampSpec
+	t, t0  float64
+	n      int64
+	dt     float64
+}
+
+// Snapshot records the dynamic state. The structure (nodes, devices) is not
+// captured; Restore requires it unchanged.
+func (c *Circuit) Snapshot() *State {
+	st := &State{
+		v:      append([]float64(nil), c.v...),
+		drive:  append([]Waveform(nil), c.drive...),
+		dcOK:   append([]bool(nil), c.dcOK...),
+		dcV:    append([]float64(nil), c.dcV...),
+		rampOK: append([]bool(nil), c.rampOK...),
+		rampP:  append([]rampSpec(nil), c.rampP...),
+		t:      c.t, t0: c.t0, n: c.nsteps, dt: c.lastDt,
+	}
+	return st
+}
+
+// Restore resets the dynamic state to a snapshot taken on this circuit. It
+// panics if the node count changed since the snapshot.
+func (c *Circuit) Restore(st *State) {
+	if len(st.v) != len(c.v) {
+		panic("circuit: Restore after structural change")
+	}
+	copy(c.v, st.v)
+	copy(c.drive, st.drive)
+	copy(c.dcOK, st.dcOK)
+	copy(c.dcV, st.dcV)
+	copy(c.rampOK, st.rampOK)
+	copy(c.rampP, st.rampP)
+	for i := range c.cur {
+		c.cur[i] = 0
+	}
+	c.t, c.t0, c.nsteps, c.lastDt = st.t, st.t0, st.n, st.dt
+	c.vdirty = true
+	c.invalidate()
 }
 
 // Resistor is a linear conductance between two nodes.
@@ -237,7 +419,9 @@ func (s *CurrentSink) Stamp(v, cur []float64) {
 
 // Switch is an ideal voltage-controlled conductance: G when the control
 // callback reports on, otherwise open. It models control circuitry (e.g. SA
-// enable) without gate dynamics.
+// enable) without gate dynamics. On must be a pure function of state that
+// does not change within one integration step: the compiled kernel resolves
+// it once per step into a control-bit slice.
 type Switch struct {
 	A, B Node
 	G    float64

@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -25,11 +26,15 @@ func TestDrivenNodeFollowsWaveform(t *testing.T) {
 	c := New(5)
 	n := c.AddNode("drv", 1e-15)
 	c.Drive(n, Step(0, 1, 1e-9, 1e-10))
-	c.RunUntil(1e-12, 0.5e-9, nil)
+	if _, _, err := c.RunUntil(1e-12, 0.5e-9, nil); err != nil {
+		t.Fatal(err)
+	}
 	if c.V(n) != 0 {
 		t.Fatal("before step should be 0")
 	}
-	c.RunUntil(1e-12, 2e-9, nil)
+	if _, _, err := c.RunUntil(1e-12, 2e-9, nil); err != nil {
+		t.Fatal(err)
+	}
 	if c.V(n) != 1 {
 		t.Fatalf("after step = %v, want 1", c.V(n))
 	}
@@ -44,7 +49,9 @@ func TestChargeSharing(t *testing.T) {
 	c.SetV(cell, 1.2)
 	c.SetV(bl, 0.6)
 	c.Add(NewResistor(cell, bl, 5e3))
-	c.RunUntil(1e-12, 20e-9, nil)
+	if _, _, err := c.RunUntil(1e-12, 20e-9, nil); err != nil {
+		t.Fatal(err)
+	}
 	want := (1.2*20 + 0.6*80) / 100 // 0.72
 	if got := c.V(bl); math.Abs(got-want) > 0.005 {
 		t.Fatalf("shared voltage = %.4f, want %.4f", got, want)
@@ -167,6 +174,39 @@ func TestDivergenceDetected(t *testing.T) {
 	err := c.Step(1e-9)
 	if err == nil {
 		t.Fatal("expected divergence error")
+	}
+}
+
+func TestDivergenceNamesNodeOnBothPaths(t *testing.T) {
+	// A node that blows past maxV must surface through RunUntil as the
+	// named-node error — interpreted and compiled paths alike, with the
+	// same message.
+	build := func(compiled bool) *Circuit {
+		c := New(2.4)
+		n := c.AddNode("runaway", 1e-15)
+		vdd := c.AddNode("vdd", 1e-15)
+		c.Drive(vdd, DC(1.2))
+		c.Add(NewResistor(n, vdd, 0.001))
+		c.SetCompiled(compiled)
+		return c
+	}
+	var msgs [2]string
+	for i, compiled := range []bool{true, false} {
+		c := build(compiled)
+		_, fired, err := c.RunUntil(1e-9, 1e-6, func(c *Circuit) bool { return false })
+		if err == nil {
+			t.Fatalf("compiled=%v: divergence not reported", compiled)
+		}
+		if fired {
+			t.Fatalf("compiled=%v: stop fired on a diverged run", compiled)
+		}
+		if !strings.Contains(err.Error(), `"runaway"`) {
+			t.Fatalf("compiled=%v: error does not name the node: %v", compiled, err)
+		}
+		msgs[i] = err.Error()
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("paths disagree on the divergence error:\n  compiled:    %s\n  interpreted: %s", msgs[0], msgs[1])
 	}
 }
 

@@ -1,0 +1,288 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// expDecay is a device type the kernel does not know, to exercise the
+// interface-dispatch fallback run.
+type expDecay struct {
+	N Node
+	G float64
+}
+
+func (e *expDecay) Stamp(v, cur []float64) { cur[e.N] -= e.G * v[e.N] * 0.5 }
+
+// twin holds two structurally identical circuits, one per stepping path,
+// plus parallel mutation hooks so tests can evolve both in lockstep.
+type twin struct {
+	comp, interp *Circuit
+	nodes        int
+	sw           bool // shared switch control state
+}
+
+// buildTwin constructs a DRAM-flavoured netlist twice: an RC line with a
+// pass transistor, a cross-coupled latch (NMOS+PMOS), a leakage sink, a
+// controlled switch, every drive class (DC, Step, custom closure) and an
+// unknown device type.
+func buildTwin() *twin {
+	tw := &twin{}
+	mk := func() *Circuit {
+		c := New(5)
+		vdd := c.AddNode("vdd", 1e-15)
+		c.DriveDC(vdd, 1.2)
+		var line []Node
+		for i := 0; i < 4; i++ {
+			n := c.AddNode(fmt.Sprintf("bl%d", i), 20e-15)
+			c.SetV(n, 0.6)
+			line = append(line, n)
+			if i > 0 {
+				c.Add(NewResistor(line[i-1], n, 7e3))
+			}
+		}
+		cell := c.AddNode("cell", 22e-15)
+		c.SetV(cell, 1.1)
+		wl := c.AddNode("wl", 1e-15)
+		c.Drive(wl, Step(0, 2.2, 0.3e-9, 0.2e-9))
+		c.Add(&MOSFET{D: line[3], G: wl, S: cell, K: 0.9e-4, Vt: 0.5})
+		c.Add(&CurrentSink{N: cell, I: 1e-12})
+		a := c.AddNode("a", 50e-15)
+		b := c.AddNode("b", 50e-15)
+		c.SetV(a, 0.65)
+		c.SetV(b, 0.55)
+		san := c.AddNode("san", 1e-15)
+		sap := c.AddNode("sap", 1e-15)
+		c.DriveRamp(san, 0.6, 0, 1e-9, 1e-9) // declared ramp: inline kernel path
+		c.Drive(sap, Step(0.6, 1.2, 1e-9, 1e-9))
+		c.Add(&MOSFET{D: a, G: b, S: san, K: 2e-4, Vt: 0.4})
+		c.Add(&MOSFET{D: b, G: a, S: san, K: 2e-4, Vt: 0.4})
+		c.Add(&MOSFET{D: a, G: b, S: sap, K: 2e-4, Vt: 0.4, PMOS: true})
+		c.Add(&MOSFET{D: b, G: a, S: sap, K: 2e-4, Vt: 0.4, PMOS: true})
+		c.Add(&Switch{A: line[0], B: vdd, G: 3e-4, On: func() bool { return tw.sw }})
+		c.Add(&expDecay{N: line[1], G: 1e-6})
+		osc := c.AddNode("osc", 2e-15)
+		c.Drive(osc, func(t float64) float64 { return 0.3 + 0.2*math.Sin(2e8*t) })
+		c.Add(NewResistor(osc, line[2], 9e3))
+		tw.nodes = int(osc) + 1
+		return c
+	}
+	tw.comp = mk()
+	tw.interp = mk()
+	tw.comp.SetCompiled(true)
+	tw.interp.SetCompiled(false)
+	return tw
+}
+
+// stepBoth advances both circuits n steps and requires bitwise-equal
+// voltages, times and errors after every step.
+func (tw *twin) stepBoth(t *testing.T, n int, dt float64) {
+	t.Helper()
+	for s := 0; s < n; s++ {
+		errC := tw.comp.Step(dt)
+		errI := tw.interp.Step(dt)
+		if (errC == nil) != (errI == nil) {
+			t.Fatalf("step %d: error mismatch: compiled=%v interpreted=%v", s, errC, errI)
+		}
+		if errC != nil {
+			if errC.Error() != errI.Error() {
+				t.Fatalf("step %d: error text mismatch:\n  %v\n  %v", s, errC, errI)
+			}
+			return
+		}
+		if tw.comp.Time() != tw.interp.Time() {
+			t.Fatalf("step %d: time mismatch: %v vs %v", s, tw.comp.Time(), tw.interp.Time())
+		}
+		for i := 0; i < tw.nodes; i++ {
+			if vc, vi := tw.comp.V(Node(i)), tw.interp.V(Node(i)); vc != vi {
+				t.Fatalf("step %d node %q: compiled %v != interpreted %v (Δ=%g)",
+					s, tw.comp.Name(Node(i)), vc, vi, vc-vi)
+			}
+		}
+	}
+}
+
+func TestKernelIdentityStepwise(t *testing.T) {
+	// The compiled kernel must be bit-identical to the interpreted loop at
+	// every step, across all device kinds and drive classes.
+	tw := buildTwin()
+	tw.stepBoth(t, 2000, 1e-12)
+	tw.sw = true // flip the switch control mid-run
+	tw.stepBoth(t, 2000, 1e-12)
+	tw.sw = false
+	tw.stepBoth(t, 1000, 1e-12)
+	// A change of dt rebases the derived clock identically on both paths.
+	tw.stepBoth(t, 500, 2e-12)
+}
+
+func TestKernelIdentityUnderMutation(t *testing.T) {
+	// Property: any interleaving of post-compile structural mutations
+	// (Add/AddNode/Drive/AddCap) transparently invalidates and recompiles
+	// the kernel — a stale kernel would diverge from the interpreted twin
+	// within a step. Randomised but seeded.
+	tw := buildTwin()
+	tw.comp.Compile()
+	rng := rand.New(rand.NewSource(11))
+	both := func(f func(c *Circuit)) { f(tw.comp); f(tw.interp) }
+	for round := 0; round < 30; round++ {
+		tw.stepBoth(t, 50+rng.Intn(100), 1e-12)
+		a := Node(rng.Intn(tw.nodes))
+		b := Node(rng.Intn(tw.nodes))
+		switch rng.Intn(5) {
+		case 0:
+			if a != b {
+				ohms := 5e3 + 1e4*rng.Float64()
+				both(func(c *Circuit) { c.Add(NewResistor(a, b, ohms)) })
+			}
+		case 1:
+			v := rng.Float64()
+			if round%2 == 0 {
+				both(func(c *Circuit) { c.DriveDC(a, v) })
+			} else {
+				both(func(c *Circuit) { c.Drive(a, DC(v)) })
+			}
+		case 2:
+			t0 := tw.comp.Time()
+			v0, v1 := rng.Float64(), rng.Float64()
+			if round%2 == 0 {
+				both(func(c *Circuit) { c.DriveRamp(a, v0, v1, t0+0.1e-9, 0.2e-9) })
+			} else {
+				both(func(c *Circuit) { c.Drive(a, Step(v0, v1, t0+0.1e-9, 0.2e-9)) })
+			}
+		case 3:
+			name := fmt.Sprintf("new%d", round)
+			capF := (5 + 40*rng.Float64()) * 1e-15
+			both(func(c *Circuit) {
+				n := c.AddNode(name, capF)
+				c.SetV(n, 0.4)
+				c.Add(NewResistor(n, b, 8e3))
+			})
+			tw.nodes++
+		case 4:
+			if tw.comp.drive[a] == nil {
+				both(func(c *Circuit) { c.AddCap(a, 3e-15) })
+			}
+		}
+	}
+	tw.stepBoth(t, 500, 1e-12)
+}
+
+func TestKernelSnapshotRestoreIdentity(t *testing.T) {
+	// Restore rewinds both paths to the same state: re-running from a
+	// snapshot reproduces the original trajectory bit-for-bit.
+	tw := buildTwin()
+	stC, stI := tw.comp.Snapshot(), tw.interp.Snapshot()
+	tw.stepBoth(t, 1500, 1e-12)
+	want := make([]float64, tw.nodes)
+	for i := range want {
+		want[i] = tw.comp.V(Node(i))
+	}
+	tw.comp.Restore(stC)
+	tw.interp.Restore(stI)
+	if tw.comp.Time() != 0 || tw.comp.Steps() != 0 {
+		t.Fatalf("restore did not rewind the clock: t=%v n=%d", tw.comp.Time(), tw.comp.Steps())
+	}
+	tw.stepBoth(t, 1500, 1e-12)
+	for i := range want {
+		if got := tw.comp.V(Node(i)); got != want[i] {
+			t.Fatalf("replay after Restore diverged at node %q: %v != %v", tw.comp.Name(Node(i)), got, want[i])
+		}
+	}
+}
+
+func TestDrivePlanClassifiesDrives(t *testing.T) {
+	// White-box: the drive plan must pre-evaluate DC drives to constants,
+	// flatten declared ramps, and keep closures only for the rest.
+	c := New(5)
+	d1 := c.AddNode("dc", 1e-15)
+	c.DriveDC(d1, 0.7)
+	d2 := c.AddNode("closure", 1e-15)
+	c.Drive(d2, Step(0, 1, 1e-9, 1e-9))
+	d3 := c.AddNode("ramp", 1e-15)
+	c.DriveRamp(d3, 0, 1, 1e-9, 1e-9)
+	c.AddNode("float", 1e-15)
+	c.Compile()
+	k := c.kern
+	if len(k.constN) != 2 { // ground + dc
+		t.Fatalf("const drives = %d, want 2 (gnd, dc)", len(k.constN))
+	}
+	if k.constV[1] != 0.7 {
+		t.Fatalf("pre-evaluated DC constant = %v, want 0.7", k.constV[1])
+	}
+	if len(k.rampN) != 1 || Node(k.rampN[0]) != d3 || k.rampS[0].v1 != 1 {
+		t.Fatalf("ramp plan = %v %v, want just the declared ramp node", k.rampN, k.rampS)
+	}
+	if len(k.varN) != 1 || Node(k.varN[0]) != d2 {
+		t.Fatalf("time-varying plan = %v, want just the closure node", k.varN)
+	}
+	if len(k.floatN) != 1 {
+		t.Fatalf("floating list = %v, want one node", k.floatN)
+	}
+	// Re-driving the ramp node with a plain closure demotes it.
+	c.Drive(d3, Step(0, 1, 1e-9, 1e-9))
+	c.Compile()
+	if len(c.kern.rampN) != 0 || len(c.kern.varN) != 2 {
+		t.Fatalf("Drive did not demote the declared ramp: ramps=%v vars=%v", c.kern.rampN, c.kern.varN)
+	}
+}
+
+func TestCompiledStepZeroAlloc(t *testing.T) {
+	tw := buildTwin()
+	tw.comp.Compile()
+	if n := testing.AllocsPerRun(200, func() {
+		if err := tw.comp.Step(1e-12); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("compiled Step allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestRecompileAfterReparamZeroAlloc(t *testing.T) {
+	// Once the kernel's tables have grown to the netlist size, the
+	// invalidate→recompile cycle (what Subarray.Reparam triggers every
+	// Monte Carlo draw) must reuse them rather than reallocate.
+	tw := buildTwin()
+	tw.comp.Compile()
+	if n := testing.AllocsPerRun(100, func() {
+		tw.comp.invalidate()
+		tw.comp.Compile()
+	}); n != 0 {
+		t.Fatalf("recompile allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func benchCircuit(compiled bool) *Circuit {
+	tw := buildTwin()
+	if !compiled {
+		return tw.interp
+	}
+	tw.comp.Compile()
+	return tw.comp
+}
+
+func BenchmarkCompiledStep(b *testing.B) {
+	c := benchCircuit(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+func BenchmarkInterpretedStep(b *testing.B) {
+	c := benchCircuit(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}

@@ -1,6 +1,9 @@
 package spice
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 // extractMode is a helper for the §9 topology tests.
 func extractMode(t *testing.T, mode Mode) RawTimings {
@@ -81,8 +84,10 @@ func TestBuildAlternativeTimings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Baseline calibrates to the paper's Table 1 values.
-	if alt.Baseline.RCD != 13.8 || alt.Baseline.RP != 15.5 {
+	// Baseline calibrates to the paper's Table 1 values. The calibrated
+	// number is raw·(paper/raw), which need not round-trip to the exact
+	// paper float — allow an ULP-scale tolerance.
+	if math.Abs(alt.Baseline.RCD-13.8) > 1e-9 || math.Abs(alt.Baseline.RP-15.5) > 1e-9 {
 		t.Fatalf("calibrated baseline wrong: %+v", alt.Baseline)
 	}
 	// §9 ordering on tRCD: TL-near < CLR < twin-cell ≈ MCR < baseline.

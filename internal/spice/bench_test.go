@@ -1,0 +1,74 @@
+package spice
+
+import "testing"
+
+// Benchmarks behind make bench-circuit. "Seed config" means the solver
+// configuration the repo shipped before the compiled kernel: interpreted
+// stepping with the stop condition checked every step (CheckStride 1).
+
+func benchSubarrayStep(b *testing.B, compiled bool) {
+	p := Default()
+	s, err := Build(p, ModeBaseline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := s.Circuit()
+	c.SetCompiled(compiled)
+	s.InitData(true, p.VDD)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubarrayStepCompiled measures the raw kernel step on the full
+// baseline netlist (the Monte Carlo hot loop spends ~96% of its time here).
+func BenchmarkSubarrayStepCompiled(b *testing.B)    { benchSubarrayStep(b, true) }
+func BenchmarkSubarrayStepInterpreted(b *testing.B) { benchSubarrayStep(b, false) }
+
+func benchExtract(b *testing.B, interpreted bool, stride int) {
+	p := Default()
+	p.Interpreted = interpreted
+	p.CheckStride = stride
+	ex := Extractor{Mode: ModeHighPerf}
+	initV := p.RestoreFrac * p.VDD
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Extract(p, initV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtract measures one full activate+precharge+write extraction on
+// a reused (Reparam'd) high-performance netlist — the per-draw cost of a
+// Monte Carlo iteration.
+func BenchmarkExtract(b *testing.B)           { benchExtract(b, false, Default().CheckStride) }
+func BenchmarkExtractSeedConfig(b *testing.B) { benchExtract(b, true, 1) }
+
+func benchMonteCarlo(b *testing.B, seedConfig bool) {
+	p := Default()
+	if seedConfig {
+		p.Interpreted = true
+		p.CheckStride = 1
+	}
+	const draws = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(p, ModeHighPerf, draws, 9, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(draws)*float64(b.N)/b.Elapsed().Seconds(), "draws/s")
+}
+
+// BenchmarkMonteCarlo measures the parallel campaign end to end (64 draws
+// per op, all workers) in the shipped configuration vs the seed config.
+func BenchmarkMonteCarlo(b *testing.B)           { benchMonteCarlo(b, false) }
+func BenchmarkMonteCarloSeedConfig(b *testing.B) { benchMonteCarlo(b, true) }

@@ -1,0 +1,113 @@
+package spice
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Extractor owns reusable subarray instances of one topology and runs the
+// three-phase timing extraction on them, re-parameterising the built
+// netlists in place (Subarray.Reparam) between draws instead of rebuilding
+// them. Because Reparam is bit-identical to a fresh build, extraction
+// through a recycled Extractor yields the same bits as Extract on fresh
+// netlists — which is what makes the sync.Pool reuse across Monte Carlo
+// iterations safe: any pooled instance produces the same result for the
+// same draw, so scheduling cannot perturb the outcome.
+type Extractor struct {
+	Mode Mode
+
+	act *Subarray // activation + precharge instance
+	wr  *Subarray // write-path instance (activate reading '0', then write)
+}
+
+// prepare points both instances at the draw's parameters, rebuilding only
+// when Reparam cannot re-apply them in place.
+func (e *Extractor) prepare(q Params) error {
+	var err error
+	if e.act == nil || !e.act.Reparam(q) {
+		if e.act, err = Build(q, e.Mode); err != nil {
+			return err
+		}
+	}
+	if e.wr == nil || !e.wr.Reparam(q) {
+		if e.wr, err = Build(q, e.Mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Extract runs the three operation phases for one parameter draw and
+// returns raw timings. initV is the charged cell's starting voltage (use
+// q.RestoreFrac·q.VDD for a freshly restored cell, lower values for
+// leakage-decayed conditions).
+func (e *Extractor) Extract(q Params, initV float64) (RawTimings, error) {
+	var out RawTimings
+	if err := e.prepare(q); err != nil {
+		return out, err
+	}
+	mode := e.Mode
+
+	// Activation + precharge on one instance.
+	s := e.act
+	s.InitData(true, initV)
+	act, err := s.Activate(nil)
+	if err != nil {
+		return out, fmt.Errorf("spice: %v activation: %w", mode, err)
+	}
+	if !act.OK {
+		return out, fmt.Errorf("spice: %v activation resolved incorrectly", mode)
+	}
+	rp, err := s.Precharge(nil)
+	if err != nil {
+		return out, fmt.Errorf("spice: %v: %w", mode, err)
+	}
+
+	// Activation (reading a '0') + write ('1') on the second instance: the
+	// worst-case write charges the cell.
+	s2 := e.wr
+	s2.InitData(false, initV)
+	if _, err := s2.Activate(nil); err != nil {
+		return out, fmt.Errorf("spice: %v write-activation: %w", mode, err)
+	}
+	wr, err := s2.Write(nil)
+	if err != nil {
+		return out, fmt.Errorf("spice: %v: %w", mode, err)
+	}
+
+	out = RawTimings{
+		RCD:     act.TRCD,
+		RASFull: act.TRASFull,
+		RASET:   act.TRASET,
+		RP:      rp,
+		WRFull:  wr.TWRFull,
+		WRET:    wr.TWRET,
+	}
+	return out, nil
+}
+
+// Extract runs the three operation phases on a fresh subarray of the given
+// topology and returns raw timings. See Extractor.Extract; this is the
+// one-shot form.
+func Extract(p Params, mode Mode, initV float64) (RawTimings, error) {
+	e := Extractor{Mode: mode}
+	return e.Extract(p, initV)
+}
+
+// extractorPools recycles Extractors per topology across Monte Carlo
+// iterations, so each draw pays an in-place Reparam instead of two netlist
+// builds. Indexed by Mode.
+var extractorPools [ModeTLNear + 1]sync.Pool
+
+// pooledExtract runs one draw through a recycled (or fresh) Extractor.
+func pooledExtract(mode Mode, q Params, initV float64) (RawTimings, error) {
+	e, _ := extractorPools[mode].Get().(*Extractor)
+	if e == nil {
+		e = &Extractor{Mode: mode}
+	}
+	raw, err := e.Extract(q, initV)
+	// Recycle even after a failed draw: Reparam restores the recorded
+	// initial state, so a half-run transient cannot leak into the next use.
+	extractorPools[mode].Put(e)
+	return raw, err
+}

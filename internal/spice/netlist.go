@@ -41,6 +41,14 @@ type Subarray struct {
 	hasSA2     bool
 	cellSeg    int  // segment index the cells attach to
 	expectHigh bool // which SA1 port should resolve high (set by InitData)
+
+	// Reparam support: binds re-apply a new draw's component values to the
+	// built netlist in place (each closure recomputes its value with the
+	// exact expression Build used, so the result is bit-identical to a
+	// fresh build); built is the precharged initial state recorded at the
+	// end of Build, restored before each re-parameterised run.
+	binds []func(q Params)
+	built *circuit.State
 }
 
 // Build constructs the netlist for a topology. The circuit starts in the
@@ -54,13 +62,14 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 	s := &Subarray{p: p, mode: mode, c: circuit.New(2 * p.VPP)}
 	c := s.c
 	vh := p.VDD / 2
+	bind := func(f func(q Params)) { s.binds = append(s.binds, f) }
 
 	s.vhalf = c.AddNode("vhalf", 1e-15)
-	c.Drive(s.vhalf, circuit.DC(vh))
+	c.DriveDC(s.vhalf, vh)
 	s.vddN = c.AddNode("vdd", 1e-15)
-	c.Drive(s.vddN, circuit.DC(p.VDD))
+	c.DriveDC(s.vddN, p.VDD)
 	s.wl = c.AddNode("wl", 1e-15)
-	c.Drive(s.wl, circuit.DC(0))
+	c.DriveDC(s.wl, 0)
 
 	lineScale := 1.0
 	if mode == ModeTLNear {
@@ -68,15 +77,19 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 		// behind an off isolation transistor and is invisible).
 		lineScale = TLNearFraction
 	}
-	segCap := lineScale * p.BitlineCap / float64(p.Segments)
-	segRes := lineScale * p.BitlineRes / float64(p.Segments-1)
+	segCapOf := func(q Params) float64 { return lineScale * q.BitlineCap / float64(q.Segments) }
+	segResOf := func(q Params) float64 { return lineScale * q.BitlineRes / float64(q.Segments-1) }
 	mkLine := func(prefix string) []circuit.Node {
 		nodes := make([]circuit.Node, p.Segments)
 		for i := range nodes {
-			nodes[i] = c.AddNode(fmt.Sprintf("%s%d", prefix, i), segCap)
-			c.SetV(nodes[i], vh)
+			n := c.AddNode(fmt.Sprintf("%s%d", prefix, i), segCapOf(p))
+			c.SetV(n, vh)
+			nodes[i] = n
+			bind(func(q Params) { c.SetCap(n, segCapOf(q)) })
 			if i > 0 {
-				c.Add(circuit.NewResistor(nodes[i-1], nodes[i], segRes))
+				r := circuit.NewResistor(nodes[i-1], n, segResOf(p))
+				c.Add(r)
+				bind(func(q Params) { r.G = 1 / segResOf(q) })
 			}
 		}
 		return nodes
@@ -91,47 +104,82 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 		s.cellSeg = p.Segments / 2
 	}
 
-	// Cell on bl.
-	s.cell = c.AddNode("cell", p.CellCap)
-	c.Add(&circuit.MOSFET{D: s.bl[s.cellSeg], G: s.wl, S: s.cell, K: p.AccessK, Vt: p.AccessVt})
-	c.Add(&circuit.CurrentSink{N: s.cell, I: p.EffectiveLeak()})
+	// addCell hangs a storage cell off a bitline segment through an access
+	// transistor, with its junction-leakage sink.
+	addCell := func(name string, line circuit.Node) circuit.Node {
+		cell := c.AddNode(name, p.CellCap)
+		bind(func(q Params) { c.SetCap(cell, q.CellCap) })
+		m := &circuit.MOSFET{D: line, G: s.wl, S: cell, K: p.AccessK, Vt: p.AccessVt}
+		c.Add(m)
+		bind(func(q Params) { m.K, m.Vt = q.AccessK, q.AccessVt })
+		sink := &circuit.CurrentSink{N: cell, I: p.EffectiveLeak()}
+		c.Add(sink)
+		bind(func(q Params) { sink.I = q.EffectiveLeak() })
+		return cell
+	}
+	s.cell = addCell("cell", s.bl[s.cellSeg])
 
 	addSA := func(name string, bl, blb circuit.Node) senseAmp {
 		sa := senseAmp{bl: bl, blb: blb}
 		sa.san = c.AddNode(name+".san", 2e-15)
 		sa.sap = c.AddNode(name+".sap", 2e-15)
-		c.Drive(sa.san, circuit.DC(vh)) // disabled: rails parked at VDD/2
-		c.Drive(sa.sap, circuit.DC(vh))
-		c.Add(&circuit.MOSFET{D: sa.bl, G: sa.blb, S: sa.san, K: p.SAK, Vt: p.SAVt})
-		c.Add(&circuit.MOSFET{D: sa.blb, G: sa.bl, S: sa.san, K: p.SAK, Vt: p.SAVt})
-		c.Add(&circuit.MOSFET{D: sa.bl, G: sa.blb, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true})
-		c.Add(&circuit.MOSFET{D: sa.blb, G: sa.bl, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true})
+		c.DriveDC(sa.san, vh) // disabled: rails parked at VDD/2
+		c.DriveDC(sa.sap, vh)
+		for _, m := range []*circuit.MOSFET{
+			{D: sa.bl, G: sa.blb, S: sa.san, K: p.SAK, Vt: p.SAVt},
+			{D: sa.blb, G: sa.bl, S: sa.san, K: p.SAK, Vt: p.SAVt},
+			{D: sa.bl, G: sa.blb, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true},
+			{D: sa.blb, G: sa.bl, S: sa.sap, K: p.SAK, Vt: p.SAVt, PMOS: true},
+		} {
+			m := m
+			c.Add(m)
+			bind(func(q Params) { m.K, m.Vt = q.SAK, q.SAVt })
+		}
 		return sa
 	}
 	addPU := func(name string, gate, a, b circuit.Node) {
-		c.Add(&circuit.MOSFET{D: a, G: gate, S: b, K: p.PrechargeK, Vt: p.PrechargeVt})
-		c.Add(&circuit.MOSFET{D: a, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt})
-		c.Add(&circuit.MOSFET{D: b, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt})
+		for _, m := range []*circuit.MOSFET{
+			{D: a, G: gate, S: b, K: p.PrechargeK, Vt: p.PrechargeVt},
+			{D: a, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt},
+			{D: b, G: gate, S: s.vhalf, K: p.PrechargeK, Vt: p.PrechargeVt},
+		} {
+			m := m
+			c.Add(m)
+			bind(func(q Params) { m.K, m.Vt = q.PrechargeK, q.PrechargeVt })
+		}
+	}
+	// addSACap models the SA port loading on a directly-attached line end.
+	addSACap := func(n circuit.Node) {
+		c.AddCap(n, p.SACap)
+		// Registered after the line node's SetCap bind, so Reparam re-adds
+		// the port load on top of the re-set segment capacitance in the
+		// same order (and with the same additions) as a fresh build.
+		bind(func(q Params) { c.AddCap(n, q.SACap) })
+	}
+	// addIso connects line to a new port node through an isolation
+	// transistor whose gate is the given control node.
+	addIso := func(name string, line, gate circuit.Node) circuit.Node {
+		port := c.AddNode(name, p.SACap)
+		c.SetV(port, vh)
+		bind(func(q Params) { c.SetCap(port, q.SACap) })
+		m := &circuit.MOSFET{D: line, G: gate, S: port, K: p.IsoK, Vt: p.IsoVt}
+		c.Add(m)
+		bind(func(q Params) { m.K, m.Vt = q.IsoK, q.IsoVt })
+		return port
 	}
 
 	s.pre1 = c.AddNode("pre1", 1e-15)
-	c.Drive(s.pre1, circuit.DC(0))
+	c.DriveDC(s.pre1, 0)
 	s.pre2 = c.AddNode("pre2", 1e-15)
-	c.Drive(s.pre2, circuit.DC(0))
-
-	addComplementCell := func() {
-		s.cellB = c.AddNode("cellB", p.CellCap)
-		c.Add(&circuit.MOSFET{D: s.blb[s.cellSeg], G: s.wl, S: s.cellB, K: p.AccessK, Vt: p.AccessVt})
-		c.Add(&circuit.CurrentSink{N: s.cellB, I: p.EffectiveLeak()})
-	}
+	c.DriveDC(s.pre2, 0)
 
 	switch mode {
 	case ModeBaseline, ModeTLNear:
 		// SA directly on the line ends (no isolation transistors); blb is
 		// the reference bitline of the adjacent subarray. The TL-DRAM near
 		// segment shares this wiring on its shortened line.
-		c.AddCap(s.bl[0], p.SACap)
-		c.AddCap(s.blb[0], p.SACap)
+		addSACap(s.bl[0])
+		addSACap(s.blb[0])
 		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
 		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
 
@@ -139,48 +187,32 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 		// SA behind Type 1 isolation transistors (always on in this mode);
 		// the far-end Type 2 transistors connect a second precharge unit
 		// during precharge only (LISA-LIP-style precharge coupling, §7.2).
-		saBL := c.AddNode("sa1.pbl", p.SACap)
-		saBLB := c.AddNode("sa1.pblb", p.SACap)
-		c.SetV(saBL, vh)
-		c.SetV(saBLB, vh)
 		isoGate := c.AddNode("iso1", 1e-15)
-		c.Drive(isoGate, circuit.DC(p.VPP)) // Type 1 enabled
-		c.Add(&circuit.MOSFET{D: s.bl[0], G: isoGate, S: saBL, K: p.IsoK, Vt: p.IsoVt})
-		c.Add(&circuit.MOSFET{D: s.blb[0], G: isoGate, S: saBLB, K: p.IsoK, Vt: p.IsoVt})
+		c.DriveDC(isoGate, p.VPP) // Type 1 enabled
+		saBL := addIso("sa1.pbl", s.bl[0], isoGate)
+		saBLB := addIso("sa1.pblb", s.blb[0], isoGate)
 		s.sa1 = addSA("sa1", saBL, saBLB)
 		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
 		// Coupled far-end precharge unit, reached through the Type 2
 		// isolation transistors (whose gates are raised together with the
 		// precharge signal in this mode).
 		end := p.Segments - 1
-		pu2bl := c.AddNode("pu2.pbl", p.SACap)
-		pu2blb := c.AddNode("pu2.pblb", p.SACap)
-		c.SetV(pu2bl, vh)
-		c.SetV(pu2blb, vh)
-		c.Add(&circuit.MOSFET{D: s.bl[end], G: s.pre2, S: pu2bl, K: p.IsoK, Vt: p.IsoVt})
-		c.Add(&circuit.MOSFET{D: s.blb[end], G: s.pre2, S: pu2blb, K: p.IsoK, Vt: p.IsoVt})
+		pu2bl := addIso("pu2.pbl", s.bl[end], s.pre2)
+		pu2blb := addIso("pu2.pblb", s.blb[end], s.pre2)
 		addPU("pu2", s.pre2, pu2bl, pu2blb)
 
 	case ModeHighPerf:
 		// blb carries the complementary cell; both SAs couple across the
 		// pair through their isolation transistors (all enabled).
-		s.cellB = c.AddNode("cellB", p.CellCap)
-		c.Add(&circuit.MOSFET{D: s.blb[s.cellSeg], G: s.wl, S: s.cellB, K: p.AccessK, Vt: p.AccessVt})
-		c.Add(&circuit.CurrentSink{N: s.cellB, I: p.EffectiveLeak()})
+		s.cellB = addCell("cellB", s.blb[s.cellSeg])
 
 		isoGate := c.AddNode("iso", 1e-15)
-		c.Drive(isoGate, circuit.DC(p.VPP))
-		mkPort := func(name string, line circuit.Node) circuit.Node {
-			port := c.AddNode(name, p.SACap)
-			c.SetV(port, vh)
-			c.Add(&circuit.MOSFET{D: line, G: isoGate, S: port, K: p.IsoK, Vt: p.IsoVt})
-			return port
-		}
+		c.DriveDC(isoGate, p.VPP)
 		// SA1 at the top: Type 1 from bl[0], Type 2 from blb[0].
-		s.sa1 = addSA("sa1", mkPort("sa1.pbl", s.bl[0]), mkPort("sa1.pblb", s.blb[0]))
+		s.sa1 = addSA("sa1", addIso("sa1.pbl", s.bl[0], isoGate), addIso("sa1.pblb", s.blb[0], isoGate))
 		// SA2 at the bottom: Type 2 from bl[end], Type 1 from blb[end].
 		end := p.Segments - 1
-		s.sa2 = addSA("sa2", mkPort("sa2.pbl", s.bl[end]), mkPort("sa2.pblb", s.blb[end]))
+		s.sa2 = addSA("sa2", addIso("sa2.pbl", s.bl[end], isoGate), addIso("sa2.pblb", s.blb[end], isoGate))
 		s.hasSA2 = true
 		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
 		addPU("pu2", s.pre2, s.sa2.bl, s.sa2.blb)
@@ -189,9 +221,9 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 		// §9 comparison: complementary coupled cells like high-performance
 		// mode, but a static design with a single SA directly on the line
 		// ends — no coupled SAs, no coupled precharge units.
-		addComplementCell()
-		c.AddCap(s.bl[0], p.SACap)
-		c.AddCap(s.blb[0], p.SACap)
+		s.cellB = addCell("cellB", s.blb[s.cellSeg])
+		addSACap(s.bl[0])
+		addSACap(s.blb[0])
 		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
 		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
 
@@ -199,20 +231,53 @@ func Build(p Params, mode Mode) (*Subarray, error) {
 		// §9 comparison: a second clone cell with the same data on the
 		// same bitline (MCR activates two clone rows together). Charge
 		// doubles on one line; the reference line stays passive; one SA.
-		s.cell2 = c.AddNode("cell2", p.CellCap)
-		c.Add(&circuit.MOSFET{D: s.bl[p.Segments/2], G: s.wl, S: s.cell2, K: p.AccessK, Vt: p.AccessVt})
-		c.Add(&circuit.CurrentSink{N: s.cell2, I: p.EffectiveLeak()})
-		c.AddCap(s.bl[0], p.SACap)
-		c.AddCap(s.blb[0], p.SACap)
+		s.cell2 = addCell("cell2", s.bl[p.Segments/2])
+		addSACap(s.bl[0])
+		addSACap(s.blb[0])
 		s.sa1 = addSA("sa1", s.bl[0], s.blb[0])
 		addPU("pu1", s.pre1, s.sa1.bl, s.sa1.blb)
 	}
 
 	// Write driver on SA1's ports (a single driver even when two SAs are
 	// coupled — the load effect the paper notes in §7.2's tWR footnote).
-	c.Add(&circuit.Switch{A: s.sa1.bl, B: s.vddN, G: p.WriteG, On: s.writeHigh})
-	c.Add(&circuit.Switch{A: s.sa1.blb, B: circuit.Ground, G: p.WriteG, On: s.writeOn})
+	for _, sw := range []*circuit.Switch{
+		{A: s.sa1.bl, B: s.vddN, G: p.WriteG, On: s.writeHigh},
+		{A: s.sa1.blb, B: circuit.Ground, G: p.WriteG, On: s.writeOn},
+	} {
+		sw := sw
+		c.Add(sw)
+		bind(func(q Params) { sw.G = q.WriteG })
+	}
+
+	c.SetCompiled(!p.Interpreted)
+	s.built = c.Snapshot()
 	return s, nil
+}
+
+// Reparam re-parameterises the built netlist in place for a new draw: it
+// restores the precharged initial state recorded by Build, writes the new
+// component values through the registered bindings and invalidates the
+// compiled kernel so the next Step rebuilds its tables. The result is
+// bit-identical to Build(q, mode) — every binding recomputes its value
+// with the exact expression Build uses — which is what makes pooled
+// subarray reuse across Monte Carlo iterations safe (TestReparamMatchesRebuild,
+// make ckdiff). It reports false, leaving the subarray untouched, when q
+// differs in a structural or drive-level parameter that bindings cannot
+// re-apply (Segments, VDD, VPP); the caller must rebuild then.
+func (s *Subarray) Reparam(q Params) bool {
+	if q.Segments != s.p.Segments || q.VDD != s.p.VDD || q.VPP != s.p.VPP {
+		return false
+	}
+	s.c.Restore(s.built)
+	for _, b := range s.binds {
+		b(q)
+	}
+	s.c.Invalidate()
+	s.c.SetCompiled(!q.Interpreted)
+	s.p = q
+	s.wrOn = false
+	s.expectHigh = false
+	return true
 }
 
 // writeOn/writeHigh gate the write driver switches: the driver always

@@ -22,6 +22,14 @@ type Recorder struct {
 	next    float64
 }
 
+// Reset clears the recorded samples (retaining the buffer) and rewinds the
+// sampling clock, so one Recorder can be reused across iterations without
+// reallocating its sample slice.
+func (r *Recorder) Reset() {
+	r.Samples = r.Samples[:0]
+	r.next = 0
+}
+
 // record captures a sample if the interval elapsed.
 func (r *Recorder) record(s *Subarray) {
 	if r == nil {
@@ -79,13 +87,26 @@ type ActResult struct {
 }
 
 // runUntil steps the subarray circuit until cond or the per-phase bound.
+//
+// The stop condition is only evaluated every CheckStride steps: every
+// extraction predicate is a monotone threshold crossing, so a stride of N
+// still finds the first crossing, quantised up to the stride grid — the
+// reported time overshoots the true crossing by at most (N−1)·Dt
+// (DESIGN.md §10). Recording runs check (and sample) every step so the
+// waveform phase boundaries stay exact.
 func (s *Subarray) runUntil(rec *Recorder, cond func() bool) (float64, error) {
+	stride := s.p.CheckStride
+	if stride < 1 || rec != nil {
+		stride = 1
+	}
 	deadline := s.c.Time() + s.p.MaxTime
 	for s.c.Time() < deadline {
-		if err := s.c.Step(s.p.Dt); err != nil {
-			return 0, err
+		for i := 0; i < stride; i++ {
+			if err := s.c.Step(s.p.Dt); err != nil {
+				return 0, err
+			}
+			rec.record(s)
 		}
-		rec.record(s)
 		if cond() {
 			return s.c.Time(), nil
 		}
@@ -99,7 +120,7 @@ func (s *Subarray) Activate(rec *Recorder) (ActResult, error) {
 	p := s.p
 	var res ActResult
 	t0 := s.c.Time() + 0.5e-9
-	s.c.Drive(s.wl, circuit.Step(0, p.VPP, t0, 0.2e-9))
+	s.c.DriveRamp(s.wl, 0, p.VPP, t0, 0.2e-9)
 
 	// Phase 1 — charge sharing until ΔV reaches the sense threshold.
 	abs := func(x float64) float64 {
@@ -217,11 +238,11 @@ func (s *Subarray) enableSAs(t float64) {
 	p := s.p
 	vh := p.VDD / 2
 	ramp := 1e-9
-	s.c.Drive(s.sa1.san, circuit.Step(vh, 0, t, ramp))
-	s.c.Drive(s.sa1.sap, circuit.Step(vh, p.VDD, t, ramp))
+	s.c.DriveRamp(s.sa1.san, vh, 0, t, ramp)
+	s.c.DriveRamp(s.sa1.sap, vh, p.VDD, t, ramp)
 	if s.hasSA2 {
-		s.c.Drive(s.sa2.san, circuit.Step(vh, 0, t, ramp))
-		s.c.Drive(s.sa2.sap, circuit.Step(vh, p.VDD, t, ramp))
+		s.c.DriveRamp(s.sa2.san, vh, 0, t, ramp)
+		s.c.DriveRamp(s.sa2.sap, vh, p.VDD, t, ramp)
 	}
 }
 
@@ -230,11 +251,11 @@ func (s *Subarray) disableSAs(t float64) {
 	p := s.p
 	vh := p.VDD / 2
 	ramp := 0.5e-9
-	s.c.Drive(s.sa1.san, circuit.Step(s.c.V(s.sa1.san), vh, t, ramp))
-	s.c.Drive(s.sa1.sap, circuit.Step(s.c.V(s.sa1.sap), vh, t, ramp))
+	s.c.DriveRamp(s.sa1.san, s.c.V(s.sa1.san), vh, t, ramp)
+	s.c.DriveRamp(s.sa1.sap, s.c.V(s.sa1.sap), vh, t, ramp)
 	if s.hasSA2 {
-		s.c.Drive(s.sa2.san, circuit.Step(s.c.V(s.sa2.san), vh, t, ramp))
-		s.c.Drive(s.sa2.sap, circuit.Step(s.c.V(s.sa2.sap), vh, t, ramp))
+		s.c.DriveRamp(s.sa2.san, s.c.V(s.sa2.san), vh, t, ramp)
+		s.c.DriveRamp(s.sa2.sap, s.c.V(s.sa2.sap), vh, t, ramp)
 	}
 }
 
@@ -245,11 +266,11 @@ func (s *Subarray) disableSAs(t float64) {
 func (s *Subarray) Precharge(rec *Recorder) (float64, error) {
 	p := s.p
 	t0 := s.c.Time() + 0.2e-9
-	s.c.Drive(s.wl, circuit.Step(p.VPP, 0, t0, 0.5e-9))
+	s.c.DriveRamp(s.wl, p.VPP, 0, t0, 0.5e-9)
 	s.disableSAs(t0)
-	s.c.Drive(s.pre1, circuit.Step(0, p.VPP, t0, 0.5e-9))
+	s.c.DriveRamp(s.pre1, 0, p.VPP, t0, 0.5e-9)
 	if s.mode != ModeBaseline {
-		s.c.Drive(s.pre2, circuit.Step(0, p.VPP, t0, 0.5e-9))
+		s.c.DriveRamp(s.pre2, 0, p.VPP, t0, 0.5e-9)
 	}
 	vh := p.VDD / 2
 	within := func(n circuit.Node) bool {

@@ -72,6 +72,19 @@ type Params struct {
 
 	Dt      float64 // integration step (s)
 	MaxTime float64 // per-phase simulation bound (s)
+
+	// Solver controls (not circuit components; never varied by Perturb).
+	//
+	// Interpreted pins the circuit's interpreted stepping path instead of
+	// the compiled kernel — a debugging escape hatch; both paths are
+	// bit-identical (make ckdiff). CheckStride is the number of steps
+	// between stop-predicate evaluations in runUntil: every extraction
+	// predicate is a monotone threshold crossing, so a stride of N finds
+	// the same crossing quantised up by at most (N−1)·Dt (3 ps at the
+	// defaults — ~0.3% of the shortest phase). 0 means 1 (check every
+	// step); Default sets 4.
+	Interpreted bool
+	CheckStride int
 }
 
 // Default returns the calibrated nominal parameter set. Component values
@@ -116,6 +129,8 @@ func Default() Params {
 
 		Dt:      1e-12,
 		MaxTime: 400e-9,
+
+		CheckStride: 4,
 	}
 }
 

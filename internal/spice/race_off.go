@@ -1,0 +1,7 @@
+//go:build !race
+
+package spice
+
+// raceEnabled reports whether the race detector is compiled in; the
+// paper-scale table test skips under it (10× step cost).
+const raceEnabled = false

@@ -276,6 +276,47 @@ func TestWaveformActPre(t *testing.T) {
 	}
 }
 
+func TestRecorderResetReusesBuffer(t *testing.T) {
+	// One Recorder across repeated operations: Reset keeps the sample
+	// buffer, and a re-run on a Reparam'd netlist reproduces the first
+	// waveform exactly.
+	p := Default()
+	s, err := Build(p, ModeHighPerf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recorder{Every: 0.1e-9}
+	s.InitData(true, p.RestoreFrac*p.VDD)
+	if _, err := s.Activate(rec); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]Sample(nil), rec.Samples...)
+	capBefore := cap(rec.Samples)
+
+	rec.Reset()
+	if len(rec.Samples) != 0 || cap(rec.Samples) != capBefore {
+		t.Fatalf("Reset: len=%d cap=%d, want len=0 cap=%d", len(rec.Samples), cap(rec.Samples), capBefore)
+	}
+	if !s.Reparam(p) {
+		t.Fatal("Reparam refused identical params")
+	}
+	s.InitData(true, p.RestoreFrac*p.VDD)
+	if _, err := s.Activate(rec); err != nil {
+		t.Fatal(err)
+	}
+	if cap(rec.Samples) != capBefore {
+		t.Errorf("second run reallocated the sample buffer: cap %d → %d", capBefore, cap(rec.Samples))
+	}
+	if len(rec.Samples) != len(first) {
+		t.Fatalf("second run recorded %d samples, first %d", len(rec.Samples), len(first))
+	}
+	for i := range first {
+		if rec.Samples[i] != first[i] {
+			t.Fatalf("sample %d differs after Reset+Reparam: %+v vs %+v", i, rec.Samples[i], first[i])
+		}
+	}
+}
+
 func TestHighPerfWaveformComplementaryCells(t *testing.T) {
 	// Figure 7 bottom: the coupled cells hold opposite levels and restore
 	// in opposite directions.

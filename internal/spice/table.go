@@ -20,57 +20,6 @@ type RawTimings struct {
 	WRET    float64 // write driver start → early-termination level
 }
 
-// Extract runs the three operation phases on a fresh subarray of the given
-// topology and returns raw timings. initV is the charged cell's starting
-// voltage (use p.RestoreFrac·p.VDD for a freshly restored cell, lower
-// values for leakage-decayed conditions).
-func Extract(p Params, mode Mode, initV float64) (RawTimings, error) {
-	var out RawTimings
-
-	// Activation + precharge on one instance.
-	s, err := Build(p, mode)
-	if err != nil {
-		return out, err
-	}
-	s.InitData(true, initV)
-	act, err := s.Activate(nil)
-	if err != nil {
-		return out, fmt.Errorf("spice: %v activation: %w", mode, err)
-	}
-	if !act.OK {
-		return out, fmt.Errorf("spice: %v activation resolved incorrectly", mode)
-	}
-	rp, err := s.Precharge(nil)
-	if err != nil {
-		return out, fmt.Errorf("spice: %v: %w", mode, err)
-	}
-
-	// Activation (reading a '0') + write ('1') on a second instance: the
-	// worst-case write charges the cell.
-	s2, err := Build(p, mode)
-	if err != nil {
-		return out, err
-	}
-	s2.InitData(false, initV)
-	if _, err := s2.Activate(nil); err != nil {
-		return out, fmt.Errorf("spice: %v write-activation: %w", mode, err)
-	}
-	wr, err := s2.Write(nil)
-	if err != nil {
-		return out, fmt.Errorf("spice: %v: %w", mode, err)
-	}
-
-	out = RawTimings{
-		RCD:     act.TRCD,
-		RASFull: act.TRASFull,
-		RASET:   act.TRASET,
-		RP:      rp,
-		WRFull:  wr.TWRFull,
-		WRET:    wr.TWRET,
-	}
-	return out, nil
-}
-
 // MonteCarlo runs the paper's §7.1 methodology: iters independent parameter
 // draws with sigma (5%) variation on every circuit component; the returned
 // timings are the worst case over all draws, and any draw that fails to
@@ -138,7 +87,7 @@ func monteCarloMany(ctx context.Context, pool *engine.Pool, p Params, specs []mc
 		if sp.InitVFrac != 0 {
 			initV = sp.InitVFrac * q.VDD
 		}
-		raw, err := Extract(q, sp.Mode, initV)
+		raw, err := pooledExtract(sp.Mode, q, initV)
 		if err != nil {
 			return raw, fmt.Errorf("spice: Monte Carlo iteration %d: %w", t.iter, err)
 		}
@@ -196,16 +145,24 @@ func CalibrateBaseline(raw RawTimings) Calibration {
 
 // TableOptions configures BuildTimingTable.
 type TableOptions struct {
-	Iterations int     // Monte Carlo draws per mode (paper: 10⁴); default 200
+	Iterations int     // Monte Carlo draws per mode (paper: 10⁴); default 2000
 	Seed       int64   // default 1
 	Sigma      float64 // component variation; default 0.05 (5%)
 	SweepStep  float64 // refresh-window sweep step in ms; default 10
 	Workers    int     // parallel workers for the Monte Carlo draws; 0 = GOMAXPROCS
+
+	// Interpreted pins the circuit solver's interpreted stepping path for
+	// every draw — the debugging escape hatch (see Params.Interpreted).
+	// The compiled kernel is bit-identical (make ckdiff) and the default.
+	Interpreted bool
 }
 
 func (o TableOptions) withDefaults() TableOptions {
 	if o.Iterations == 0 {
-		o.Iterations = 200
+		// The compiled kernel plus in-place re-parameterisation made the
+		// draws cheap enough to default to the paper-scale methodology
+		// (§7.1 uses 10⁴; 2000 keeps the default table build interactive).
+		o.Iterations = 2000
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -225,6 +182,9 @@ func (o TableOptions) withDefaults() TableOptions {
 // the refresh-window sensitivity curve for high-performance rows.
 func BuildTimingTable(p Params, opts TableOptions) (*core.TimingTable, error) {
 	opts = opts.withDefaults()
+	if opts.Interpreted {
+		p.Interpreted = true
+	}
 
 	// One flat batch: the three Monte Carlo campaigns plus the two nominal
 	// single-draw extractions, all independent, sharded across the pool.
@@ -309,14 +269,20 @@ type SweepPoint struct {
 // and returns one point per window that still senses correctly.
 func REFWSweep(p Params, stepMs float64) ([]SweepPoint, error) {
 	var out []SweepPoint
+	var s *Subarray
 	for ms := 64.0; ; ms += stepMs {
 		v0 := p.ETFrac*p.VDD - p.EffectiveLeak()*(ms/1000)/p.CellCap
 		if v0 <= 0 {
 			break
 		}
-		s, err := Build(p, ModeHighPerf)
-		if err != nil {
-			return nil, err
+		// One netlist for the whole sweep, reset in place between points.
+		if s == nil {
+			var err error
+			if s, err = Build(p, ModeHighPerf); err != nil {
+				return nil, err
+			}
+		} else if !s.Reparam(p) {
+			return nil, fmt.Errorf("spice: refresh sweep could not reset the netlist")
 		}
 		s.InitData(true, v0)
 		act, err := s.Activate(nil)

@@ -1,11 +1,12 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate and two explicit differential identity gates on
-# top of both tiers: ffdiff (fast-forward vs ticked simulation) and
-# ckdiff (compiled circuit kernel vs interpreted loop).
+# gofmt cleanliness gate and three explicit end-to-end gates on top of
+# both tiers: ffdiff (fast-forward vs ticked simulation), ckdiff
+# (compiled circuit kernel vs interpreted loop), and serve-smoke
+# (clrserve daemon report vs direct sim.Run, byte-identical).
 
-.PHONY: all tier1 race check fmt ffdiff ckdiff bench bench-ff bench-circuit report
+.PHONY: all tier1 race check fmt ffdiff ckdiff serve-smoke bench bench-ff bench-circuit report
 
 all: check
 
@@ -40,7 +41,16 @@ ckdiff:
 	go test ./internal/spice -run 'TestCompiledIdentity|TestReparamMatchesRebuild' -count=1
 	go test ./internal/circuit -run 'TestKernelIdentity|TestRecompile' -count=1
 
-check: tier1 race fmt ffdiff ckdiff
+# serve-smoke is the end-to-end determinism gate of the clrserve daemon:
+# start it on a random port, submit a tiny Fig. 12 sweep over HTTP, poll
+# to completion, and byte-diff the fetched report against the canonical
+# report of a direct sim.Run with the same spec and options, then shut
+# down cleanly (SERVING.md). The same property is also enforced
+# in-process by TestServerReportMatchesDirectRun in `go test ./...`.
+serve-smoke:
+	go run ./cmd/clrserve -smoke
+
+check: tier1 race fmt ffdiff ckdiff serve-smoke
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .

@@ -23,10 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
+	"clrdram/internal/cli"
 	"clrdram/internal/core"
 	"clrdram/internal/sim"
 	"clrdram/internal/trace"
@@ -86,8 +85,11 @@ func main() {
 		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
 	}
 
-	// Ctrl-C / SIGTERM cancels the run cleanly through the context-aware API.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// Ctrl-C / SIGTERM cancels the run cleanly through the context-aware
+	// API, and the process exits with the conventional 128+signum code
+	// (130 for SIGINT) via fatal's context.Canceled handling.
+	ctx, code, stop := cli.SignalContext(context.Background())
+	sigCode = code
 	defer stop()
 
 	run := func(c core.Config) sim.Result {
@@ -211,7 +213,11 @@ func writeReport(path string, fn func(*os.File) error) {
 	fmt.Printf("(wrote %s)\n", path)
 }
 
+// sigCode reports the exit code of a received signal (set by main once the
+// handler is installed); fatal exits with it when err is the cancellation
+// that signal caused, and 1 otherwise.
+var sigCode func() int
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clrsim:", err)
-	os.Exit(1)
+	cli.Exit("clrsim", err, sigCode)
 }

@@ -30,13 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
-	"syscall"
 
+	"clrdram/internal/cli"
 	"clrdram/internal/core"
 	"clrdram/internal/engine"
 	"clrdram/internal/sim"
@@ -130,8 +129,10 @@ func main() {
 	}()
 
 	// Ctrl-C / SIGTERM cancels the sweeps cleanly; with -checkpoint the next
-	// invocation resumes from the completed shards.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// invocation resumes from the completed shards, and the process exits
+	// with the conventional 128+signum code (130 for SIGINT).
+	ctx, code, stop := cli.SignalContext(context.Background())
+	sigCode = code
 	defer stop()
 	var timer *engine.Timer
 	jsonOut := os.Stdout
@@ -471,9 +472,13 @@ func printRows(f sim.Fig12Result) {
 	}
 }
 
+// sigCode reports the exit code of a received signal (set by main once the
+// handler is installed); fatal exits with it when err is the cancellation
+// that signal caused, and 1 otherwise.
+var sigCode func() int
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cli.Exit("experiments", err, sigCode)
 }
 
 // progressLine keeps a live shard counter on stderr; each driver restarts

@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := map[syscall.Signal]int{
+		syscall.SIGINT:  130,
+		syscall.SIGTERM: 143,
+		syscall.SIGHUP:  129,
+	}
+	for sig, want := range cases {
+		if got := ExitCode(sig); got != want {
+			t.Errorf("ExitCode(%v) = %d, want %d", sig, got, want)
+		}
+	}
+}
+
+func TestSignalContextCancelsAndNumbers(t *testing.T) {
+	ctx, sigCode, stop := SignalContext(context.Background())
+	defer stop()
+	if sigCode() != 0 {
+		t.Fatalf("sigCode before any signal = %d, want 0", sigCode())
+	}
+	// Deliver a real SIGINT to ourselves; the context must cancel and the
+	// code must read 130.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled by SIGINT")
+	}
+	if code := sigCode(); code != 130 {
+		t.Fatalf("sigCode after SIGINT = %d, want 130", code)
+	}
+}
+
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, sigCode, stop := SignalContext(context.Background())
+	stop()
+	<-ctx.Done() // stop cancels the derived context
+	if sigCode() != 0 {
+		t.Fatalf("sigCode after plain stop = %d, want 0", sigCode())
+	}
+}

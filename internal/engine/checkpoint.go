@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -22,7 +23,8 @@ import (
 // the namespace, so stale shards from a differently-configured run are
 // never reused.
 type Store struct {
-	dir string
+	dir  string
+	warn func(key string, err error)
 }
 
 // NewStore opens (creating if needed) a checkpoint directory.
@@ -34,12 +36,23 @@ func NewStore(dir string) (*Store, error) {
 }
 
 // Sub returns a store rooted at a namespace subdirectory (created lazily on
-// first Save). Sub of a nil store is nil.
+// first Save), inheriting the warning hook. Sub of a nil store is nil.
 func (s *Store) Sub(namespace string) *Store {
 	if s == nil {
 		return nil
 	}
-	return &Store{dir: filepath.Join(s.dir, sanitizeKey(namespace))}
+	return &Store{dir: filepath.Join(s.dir, sanitizeKey(namespace)), warn: s.warn}
+}
+
+// WithWarn returns a store that reports every skipped shard — one that
+// exists on disk but cannot be decoded (truncated write, garbage, a layout
+// from another binary) — to fn before recomputing it. Sub stores created
+// from the returned store inherit the hook. WithWarn of a nil store is nil.
+func (s *Store) WithWarn(fn func(key string, err error)) *Store {
+	if s == nil {
+		return nil
+	}
+	return &Store{dir: s.dir, warn: fn}
 }
 
 // Dir reports the store's directory ("" for a nil store).
@@ -65,13 +78,20 @@ func (s *Store) Load(key string, v any) (bool, error) {
 		return false, fmt.Errorf("engine: checkpoint %s: %w", key, err)
 	}
 	if err := json.Unmarshal(b, v); err != nil {
-		return false, nil // corrupt shard: recompute and overwrite
+		// Corrupt shard (truncated write, garbage, foreign layout): warn,
+		// then treat as a miss so the caller recomputes and overwrites it.
+		if s.warn != nil {
+			s.warn(key, err)
+		}
+		return false, nil
 	}
 	return true, nil
 }
 
-// Save writes v as the shard for key. The write is atomic (temp file +
-// rename) so a crash mid-write leaves no half-written shard behind.
+// Save writes v as the shard for key. The write is atomic (unique temp file
+// + rename) so a crash mid-write leaves no half-written shard behind, and
+// two concurrent saves of the same key — possible when overlapping sweeps
+// share a store — cannot interleave into a torn file.
 func (s *Store) Save(key string, v any) error {
 	if s == nil {
 		return nil
@@ -83,15 +103,63 @@ func (s *Store) Save(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
 	}
-	path := s.path(key)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	tmp, err := os.CreateTemp(s.dir, sanitizeKey(key)+"-*.tmp")
+	if err != nil {
 		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
 	}
 	return nil
+}
+
+// Delete removes the shard stored under key; a missing shard is not an
+// error. Delete on a nil store is a no-op.
+func (s *Store) Delete(key string) error {
+	if s == nil {
+		return nil
+	}
+	err := os.Remove(s.path(key))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("engine: checkpoint %s: %w", key, err)
+	}
+	return nil
+}
+
+// Keys lists the shard keys present in the store — the sanitized file names
+// without their .json suffix — sorted lexically. A store whose directory
+// does not exist yet (or a nil store) has no keys.
+func (s *Store) Keys() ([]string, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("engine: checkpoint dir: %w", err)
+	}
+	var keys []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		keys = append(keys, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 func (s *Store) path(key string) string {

@@ -43,6 +43,11 @@ type Pool struct {
 	workers  int
 	progress Progress
 	timer    *Timer
+	// sem, when non-nil, is a semaphore shared by every Map/ForEach call on
+	// this pool (and on hook-carrying copies of it): a task must hold a slot
+	// while it runs, so the total number of in-flight tasks across all
+	// concurrent calls never exceeds cap(sem). See NewSharedPool.
+	sem chan struct{}
 }
 
 // NewPool returns a pool running at most workers tasks at once;
@@ -52,6 +57,24 @@ func NewPool(workers int) *Pool {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{workers: workers}
+}
+
+// NewSharedPool returns a pool whose concurrency bound is global: at most
+// workers tasks run at once across every concurrent Map/ForEach invocation
+// that uses the pool (or a WithProgress/WithTimer copy of it), not per
+// invocation. This is the pool a multi-tenant caller — the clrserve job
+// server — hands to many simultaneous sweeps so they share one machine-wide
+// budget instead of multiplying it.
+//
+// The determinism contract is unchanged: results are keyed by input index,
+// so sharing only shapes scheduling, never values. Tasks must not invoke
+// Map/ForEach on the same shared pool from inside a task (the engine's
+// drivers never nest); a nested call could hold every slot and deadlock.
+func NewSharedPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
 }
 
 // Workers reports the concurrency bound.
@@ -112,6 +135,13 @@ func Map[I, O any](ctx context.Context, pool *Pool, items []I, fn func(ctx conte
 				if i >= len(items) || tctx.Err() != nil {
 					return
 				}
+				if pool.sem != nil {
+					select {
+					case pool.sem <- struct{}{}:
+					case <-tctx.Done():
+						return
+					}
+				}
 				var taskStart time.Time
 				if pool.timer != nil {
 					taskStart = time.Now()
@@ -119,6 +149,9 @@ func Map[I, O any](ctx context.Context, pool *Pool, items []I, fn func(ctx conte
 				res, err := runTask(tctx, i, items[i], fn)
 				if pool.timer != nil {
 					pool.timer.addTask(time.Since(taskStart))
+				}
+				if pool.sem != nil {
+					<-pool.sem
 				}
 				mu.Lock()
 				if err != nil {

@@ -1,0 +1,24 @@
+package serve
+
+import "errors"
+
+// The typed admission/lookup errors. The HTTP layer maps them onto status
+// codes (429/503/404/409); embedded users match with errors.Is.
+var (
+	// ErrQueueFull rejects a submission when the admission backlog is at
+	// Config.MaxQueued. The bound is what keeps a saturating client from
+	// growing server memory without limit; callers should back off and
+	// retry (HTTP: 429 with Retry-After).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrRateLimited rejects a submission that exceeds the client's token
+	// bucket (Config.RatePerSec/Burst).
+	ErrRateLimited = errors.New("serve: client rate limit exceeded")
+	// ErrDraining rejects submissions after Drain began: the daemon is
+	// checkpointing and shutting down.
+	ErrDraining = errors.New("serve: daemon is draining")
+	// ErrUnknownJob reports a job ID that is neither active nor retained in
+	// the result cache.
+	ErrUnknownJob = errors.New("serve: unknown job")
+	// ErrNotReady reports a report fetch for a job still queued or running.
+	ErrNotReady = errors.New("serve: job not finished")
+)

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"clrdram/internal/sim"
+	"clrdram/internal/workload"
+)
+
+// LoadTestConfig shapes a load-test run against a clrserve daemon.
+type LoadTestConfig struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Requests is the total number of submissions. Default 1000.
+	Requests int
+	// Clients is the number of distinct client identities issuing them
+	// concurrently (each is one goroutine with its own X-Client name).
+	// Default 8.
+	Clients int
+	// Unique is the number of distinct job identities spread across the
+	// requests (the rest dedup/cache-hit onto them, which is the point:
+	// the admission path is hammered while simulation work stays bounded).
+	// Default 4.
+	Unique int
+	// TargetInstructions for the generated specs. Default 20000 — tiny, so
+	// the unique jobs finish quickly.
+	TargetInstructions uint64
+	// Wait, when set, polls after the barrage until every admitted unique
+	// job finished (or the context expired).
+	Wait bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c LoadTestConfig) withDefaults() LoadTestConfig {
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Unique <= 0 {
+		c.Unique = 4
+	}
+	if c.TargetInstructions == 0 {
+		c.TargetInstructions = 20_000
+	}
+	return c
+}
+
+// LoadTestReport summarizes a load-test run: admission outcomes and
+// submission-latency percentiles.
+type LoadTestReport struct {
+	Requests            int     `json:"requests"`
+	Queued              int     `json:"queued"`
+	Deduped             int     `json:"deduped"`
+	Cached              int     `json:"cached"`
+	RejectedQueueFull   int     `json:"rejected_queue_full"`
+	RejectedRateLimited int     `json:"rejected_rate_limited"`
+	RejectedDraining    int     `json:"rejected_draining"`
+	Errors              int     `json:"errors"`
+	DurationSeconds     float64 `json:"duration_seconds"`
+	RequestsPerSecond   float64 `json:"requests_per_second"`
+	LatencyP50Ms        float64 `json:"latency_p50_ms"`
+	LatencyP90Ms        float64 `json:"latency_p90_ms"`
+	LatencyP99Ms        float64 `json:"latency_p99_ms"`
+	LatencyMaxMs        float64 `json:"latency_max_ms"`
+	JobsFinished        int     `json:"jobs_finished,omitempty"` // with Wait
+}
+
+// WriteText renders the report human-readably.
+func (r LoadTestReport) WriteText(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"== loadtest: %d requests in %.2fs (%.0f req/s) ==\n"+
+			"admitted: %d queued, %d deduped, %d cached\n"+
+			"rejected: %d queue-full, %d rate-limited, %d draining, %d errors\n"+
+			"latency:  p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		r.Requests, r.DurationSeconds, r.RequestsPerSecond,
+		r.Queued, r.Deduped, r.Cached,
+		r.RejectedQueueFull, r.RejectedRateLimited, r.RejectedDraining, r.Errors,
+		r.LatencyP50Ms, r.LatencyP90Ms, r.LatencyP99Ms, r.LatencyMaxMs)
+	if err == nil && r.JobsFinished > 0 {
+		_, err = fmt.Fprintf(w, "finished: %d unique jobs ran to completion\n", r.JobsFinished)
+	}
+	return err
+}
+
+// LoadTest hammers a running daemon with cfg.Requests concurrent sweep
+// submissions from cfg.Clients client identities and reports the admission
+// outcome counts plus submission-latency percentiles. The specs are tiny
+// Fig12 sweeps in cfg.Unique identity classes, so dedup and the result
+// cache absorb most of the barrage by design — the test exercises the
+// admission path (queue bound, rate limit, single-flight) at a rate real
+// simulations could never sustain.
+func LoadTest(ctx context.Context, cfg LoadTestConfig) (LoadTestReport, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return LoadTestReport{}, fmt.Errorf("serve: loadtest needs a BaseURL")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	profiles := workload.All()[:1]
+	bodies := make([][]byte, cfg.Unique)
+	ids := make([]string, cfg.Unique)
+	for u := 0; u < cfg.Unique; u++ {
+		spec := sim.Fig12Spec(profiles)
+		opts := RunOptions{
+			Seed:               int64(u + 1),
+			TargetInstructions: cfg.TargetInstructions,
+		}
+		sb, err := json.Marshal(spec)
+		if err != nil {
+			return LoadTestReport{}, err
+		}
+		b, err := json.Marshal(SubmitRequest{Spec: sb, Options: opts})
+		if err != nil {
+			return LoadTestReport{}, err
+		}
+		bodies[u] = b
+		if ids[u], err = JobID(spec, opts); err != nil {
+			return LoadTestReport{}, err
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		rep       LoadTestReport
+		latencies []float64
+	)
+	record := func(admission string, status int, body string, latency time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		latencies = append(latencies, float64(latency.Milliseconds())+float64(latency.Microseconds()%1000)/1000)
+		switch {
+		case err != nil:
+			rep.Errors++
+		case status == http.StatusTooManyRequests && strings.Contains(body, "queue full"):
+			rep.RejectedQueueFull++
+		case status == http.StatusTooManyRequests:
+			rep.RejectedRateLimited++
+		case status == http.StatusServiceUnavailable:
+			rep.RejectedDraining++
+		case admission == "cached":
+			rep.Cached++
+		case admission == "deduped":
+			rep.Deduped++
+		case admission == "queued":
+			rep.Queued++
+		default:
+			rep.Errors++
+		}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	submit := func(clientName string, body []byte) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			cfg.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			record("", 0, "", 0, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Client", clientName)
+		start := time.Now()
+		resp, err := client.Do(req)
+		latency := time.Since(start)
+		if err != nil {
+			record("", 0, "", latency, err)
+			return
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var sr SubmitResponse
+		_ = json.Unmarshal(rb, &sr)
+		record(sr.Admission, resp.StatusCode, string(rb), latency, nil)
+	}
+
+	logf("loadtest: %d requests, %d clients, %d unique jobs -> %s",
+		cfg.Requests, cfg.Clients, cfg.Unique, cfg.BaseURL)
+	start := time.Now()
+	var wg sync.WaitGroup
+	perClient := (cfg.Requests + cfg.Clients - 1) / cfg.Clients
+	n := 0
+	for c := 0; c < cfg.Clients && n < cfg.Requests; c++ {
+		count := perClient
+		if n+count > cfg.Requests {
+			count = cfg.Requests - n
+		}
+		first := n
+		n += count
+		wg.Add(1)
+		go func(c, first, count int) {
+			defer wg.Done()
+			name := fmt.Sprintf("load-%d", c)
+			for i := 0; i < count; i++ {
+				if ctx.Err() != nil {
+					record("", 0, "", 0, ctx.Err())
+					continue
+				}
+				submit(name, bodies[(first+i)%len(bodies)])
+			}
+		}(c, first, count)
+	}
+	wg.Wait()
+	rep.Requests = cfg.Requests
+	rep.DurationSeconds = time.Since(start).Seconds()
+	if rep.DurationSeconds > 0 {
+		rep.RequestsPerSecond = float64(cfg.Requests) / rep.DurationSeconds
+	}
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rep.LatencyP50Ms = pct(0.50)
+	rep.LatencyP90Ms = pct(0.90)
+	rep.LatencyP99Ms = pct(0.99)
+	rep.LatencyMaxMs = pct(1)
+
+	if cfg.Wait {
+		logf("loadtest: waiting for %d unique jobs", len(ids))
+		for _, id := range ids {
+			for {
+				state, err := pollState(ctx, client, cfg.BaseURL, id)
+				if err != nil {
+					return rep, err
+				}
+				if state == StateDone || state == StateFailed {
+					rep.JobsFinished++
+					break
+				}
+				if state == "" || state == StateInterrupted {
+					break // rejected before ever admitted, or drained away
+				}
+				select {
+				case <-ctx.Done():
+					return rep, ctx.Err()
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// pollState fetches one job's state ("" for 404: the job was never
+// admitted).
+func pollState(ctx context.Context, c *http.Client, base, id string) (JobState, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return "", nil
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.State, nil
+}

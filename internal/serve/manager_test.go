@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clrdram/internal/engine"
+	"clrdram/internal/sim"
+	"clrdram/internal/workload"
+)
+
+// testSpec builds the u-th distinct job identity (seed varies).
+func testSpec(t *testing.T, u int) (sim.Spec, RunOptions) {
+	t.Helper()
+	return sim.Fig12Spec(workload.All()[:1]), RunOptions{Seed: int64(u + 1), TargetInstructions: 10_000}
+}
+
+// stubManager builds a manager whose runFn is the given stub — no real
+// simulations, so tests control job timing exactly.
+func stubManager(t *testing.T, cfg Config, runFn func(ctx context.Context, j *Job) ([]byte, error)) *Manager {
+	t.Helper()
+	m := NewManager(cfg)
+	if runFn != nil {
+		m.runFn = runFn
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return m
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	var invocations atomic.Int64
+	release := make(chan struct{})
+	m := stubManager(t, Config{MaxConcurrent: 2}, func(ctx context.Context, j *Job) ([]byte, error) {
+		invocations.Add(1)
+		select {
+		case <-release:
+			return []byte("report-" + j.ID()), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	spec, opts := testSpec(t, 0)
+
+	// Two concurrent identical submissions from different clients must
+	// coalesce onto one job...
+	r1, err := m.Submit("alice", spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Submit("bob", spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Deduped || !r2.Deduped || r2.Cached {
+		t.Fatalf("admissions: first %+v, second %+v", r1, r2)
+	}
+	if r1.Job != r2.Job {
+		t.Fatalf("submissions got different jobs: %s vs %s", r1.Job.ID(), r2.Job.ID())
+	}
+
+	// ...and both callers receive the full report from the single run.
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	b1, err := r1.Job.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r2.Job.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) || len(b1) == 0 {
+		t.Fatalf("reports diverged: %q vs %q", b1, b2)
+	}
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("spec executed %d times, want 1 (single-flight)", n)
+	}
+
+	// A third identical submission after completion is a cache hit.
+	r3, err := m.Submit("carol", spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Cached {
+		t.Fatalf("post-completion resubmit not cached: %+v", r3)
+	}
+	if n := invocations.Load(); n != 1 {
+		t.Fatalf("cache hit re-executed the spec (%d invocations)", n)
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	release := make(chan struct{})
+	m := stubManager(t, Config{MaxConcurrent: 1, MaxQueued: 2}, func(ctx context.Context, j *Job) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	defer close(release)
+
+	// One running + two queued fills the backlog (the running job left the
+	// queue); the next distinct submission must be rejected with the typed
+	// error, not buffered.
+	for u := 0; u < 3; u++ {
+		spec, opts := testSpec(t, u)
+		if _, err := m.Submit("c", spec, opts); err != nil {
+			t.Fatalf("submit %d: %v", u, err)
+		}
+	}
+	spec, opts := testSpec(t, 3)
+	_, err := m.Submit("c", spec, opts)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// Dedup of an already-queued job is NOT new work and must still pass.
+	spec0, opts0 := testSpec(t, 1)
+	r, err := m.Submit("d", spec0, opts0)
+	if err != nil || !r.Deduped {
+		t.Fatalf("dedup during saturation: %+v, %v", r, err)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	m := stubManager(t, Config{MaxConcurrent: 1, MaxQueued: 100, RatePerSec: 1, Burst: 2},
+		func(ctx context.Context, j *Job) ([]byte, error) { return []byte("ok"), nil })
+	m.now = func() time.Time { return clock }
+
+	// Burst of 2 passes, the third is rejected...
+	for u := 0; u < 2; u++ {
+		spec, opts := testSpec(t, u)
+		if _, err := m.Submit("hot", spec, opts); err != nil {
+			t.Fatalf("burst submit %d: %v", u, err)
+		}
+	}
+	spec, opts := testSpec(t, 2)
+	if _, err := m.Submit("hot", spec, opts); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst overflow: err = %v, want ErrRateLimited", err)
+	}
+
+	// ...other clients have their own bucket...
+	if _, err := m.Submit("cold", spec, opts); err != nil {
+		t.Fatalf("second client hit first client's limit: %v", err)
+	}
+
+	// ...and one second of refill readmits one token.
+	clock = clock.Add(time.Second)
+	spec3, opts3 := testSpec(t, 3)
+	if _, err := m.Submit("hot", spec3, opts3); err != nil {
+		t.Fatalf("post-refill submit: %v", err)
+	}
+	spec4, opts4 := testSpec(t, 4)
+	if _, err := m.Submit("hot", spec4, opts4); !errors.Is(err, ErrRateLimited) {
+		t.Fatal("refill granted more than rate*dt tokens")
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{}, 1)
+	m := stubManager(t, Config{MaxConcurrent: 1, MaxQueued: 100}, func(ctx context.Context, j *Job) ([]byte, error) {
+		mu.Lock()
+		order = append(order, j.Client())
+		mu.Unlock()
+		select {
+		case <-gate:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	// alice floods 4 jobs, then bob submits 1. With FIFO dispatch bob would
+	// wait behind the whole flood; round-robin must run him after at most
+	// one more alice job.
+	jobs := make([]*Job, 0, 5)
+	for u := 0; u < 4; u++ {
+		spec, opts := testSpec(t, u)
+		r, err := m.Submit("alice", spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, r.Job)
+	}
+	spec, opts := testSpec(t, 10)
+	r, err := m.Submit("bob", spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, r.Job)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for range jobs {
+		gate <- struct{}{} // release one job at a time
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	bobAt := -1
+	for i, c := range order {
+		if c == "bob" {
+			bobAt = i
+		}
+	}
+	if bobAt < 0 || bobAt > 2 {
+		t.Fatalf("bob ran at position %d of %v, want within the first 3 (round-robin)", bobAt, order)
+	}
+}
+
+func TestDrainInterruptsAndResumeContinues(t *testing.T) {
+	dir := t.TempDir()
+	store, err := engine.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{}, 8)
+	m := NewManager(Config{MaxConcurrent: 1, Store: store})
+	m.runFn = func(ctx context.Context, j *Job) ([]byte, error) {
+		started <- struct{}{}
+		<-ctx.Done() // runs until drained
+		return nil, ctx.Err()
+	}
+
+	// One running + one queued.
+	spec0, opts0 := testSpec(t, 0)
+	r0, err := m.Submit("a", spec0, opts0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec1, opts1 := testSpec(t, 1)
+	r1, err := m.Submit("a", spec1, opts1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Drain with an immediate deadline: the queued job is interrupted at
+	// once, the running one is cancelled when the deadline passes. Both
+	// journal entries must survive for Resume.
+	dctx, dcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer dcancel()
+	if err := m.Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: err = %v, want deadline exceeded (running job held on)", err)
+	}
+	if s := r0.Job.State(); s != StateInterrupted {
+		t.Fatalf("running job state after drain: %s", s)
+	}
+	if s := r1.Job.State(); s != StateInterrupted {
+		t.Fatalf("queued job state after drain: %s", s)
+	}
+	if _, err := m.Submit("a", spec0, opts0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: err = %v, want ErrDraining", err)
+	}
+
+	// A fresh manager over the same store re-enqueues both journaled jobs
+	// and runs them to completion.
+	m2 := stubManager(t, Config{MaxConcurrent: 2, Store: store},
+		func(ctx context.Context, j *Job) ([]byte, error) {
+			return []byte("resumed-" + j.ID()), nil
+		})
+	n, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resumed %d jobs, want 2", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, r := range []SubmitResult{r0, r1} {
+		j2, err := m2.Job(r.Job.ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, err := j2.Wait(ctx); err != nil || len(b) == 0 {
+			t.Fatalf("resumed job %s: %q, %v", j2.ID(), b, err)
+		}
+	}
+
+	// Completed jobs leave the journal: a third manager resumes nothing.
+	m3 := stubManager(t, Config{Store: store}, nil)
+	if n, err := m3.Resume(); err != nil || n != 0 {
+		t.Fatalf("resume after completion: %d, %v (want 0)", n, err)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	m := stubManager(t, Config{MaxConcurrent: 1, CacheEntries: 2},
+		func(ctx context.Context, j *Job) ([]byte, error) { return []byte("ok"), nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	jobs := make([]*Job, 3)
+	for u := 0; u < 3; u++ {
+		spec, opts := testSpec(t, u)
+		r, err := m.Submit("c", spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Job.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		jobs[u] = r.Job
+	}
+
+	// Oldest job evicted past the bound; newer two retained.
+	if _, err := m.Job(jobs[0].ID()); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("oldest job still retained: err = %v", err)
+	}
+	for _, j := range jobs[1:] {
+		if _, err := m.Job(j.ID()); err != nil {
+			t.Fatalf("job %s evicted early: %v", j.ID(), err)
+		}
+	}
+
+	// Resubmitting the evicted identity re-executes it (no stale answer).
+	spec, opts := testSpec(t, 0)
+	r, err := m.Submit("c", spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached || r.Deduped {
+		t.Fatalf("evicted identity did not re-execute: %+v", r)
+	}
+	if _, err := r.Job.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobsListingOrderAndStatus(t *testing.T) {
+	m := stubManager(t, Config{MaxConcurrent: 1},
+		func(ctx context.Context, j *Job) ([]byte, error) { return []byte("ok"), nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var last *Job
+	for u := 0; u < 3; u++ {
+		spec, opts := testSpec(t, u)
+		r, err := m.Submit(fmt.Sprintf("c%d", u), spec, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = r.Job
+	}
+	if _, err := last.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	list := m.Jobs()
+	if len(list) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.Client != fmt.Sprintf("c%d", i) {
+			t.Fatalf("listing out of admission order: %+v", list)
+		}
+		if st.Kind != "fig12" {
+			t.Fatalf("job %d kind = %q", i, st.Kind)
+		}
+	}
+
+	snap := m.MetricsSnapshot()
+	if n := snap.Counters["serve.jobs_done"]; n != 3 {
+		t.Fatalf("metrics snapshot: serve.jobs_done = %d, want 3 (%+v)", n, snap.Counters)
+	}
+}

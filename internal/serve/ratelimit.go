@@ -1,0 +1,39 @@
+package serve
+
+import "time"
+
+// bucket is one client's token bucket: tokens accrue at rate per second up
+// to burst, and each admitted submission spends one. Guarded by the
+// manager's mutex; the clock is injected (manager.now) so tests refill
+// deterministically.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allowLocked charges one token to client, refilling from elapsed time
+// first. With rate limiting disabled (RatePerSec <= 0) every submission
+// passes. Must hold m.mu.
+func (m *Manager) allowLocked(client string) bool {
+	if m.cfg.RatePerSec <= 0 {
+		return true
+	}
+	now := m.now()
+	b := m.buckets[client]
+	if b == nil {
+		b = &bucket{tokens: float64(m.cfg.Burst), last: now}
+		m.buckets[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * m.cfg.RatePerSec
+		if max := float64(m.cfg.Burst); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

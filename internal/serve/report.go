@@ -1,0 +1,36 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+
+	"clrdram/internal/sim"
+)
+
+// ReportBytes renders the canonical report document for a finished run:
+// the RunReport of a single/mix spec or the SweepReport of a sweep spec,
+// canonicalized (Timing zeroed) and encoded exactly as the CLIs write
+// reports (indented JSON, trailing newline). Because the encoding is
+// canonical, a client can byte-compare a served report against a direct
+// sim.Run with the same spec and options — the end-to-end determinism gate
+// (make serve-smoke, TestServerReportMatchesDirectRun) does exactly that.
+func ReportBytes(spec sim.Spec, out sim.Outcome, opts sim.Options) ([]byte, error) {
+	var buf bytes.Buffer
+	if spec.IsSweep() {
+		rep, err := sim.BuildSweepReport(spec, out, opts)
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Canonical().WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	if out.Single == nil || out.Single.Report == nil {
+		return nil, fmt.Errorf("serve: %s run produced no report (CollectStats off?)", spec.Kind())
+	}
+	if err := out.Single.Report.Canonical().WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -59,6 +59,14 @@ type Options struct {
 	// namespace their shards by run-shaping parameters, so a store can be
 	// shared across drivers and differently-configured runs.
 	Checkpoint *engine.Store
+	// SharedPool, when non-nil, replaces the per-driver pool built from
+	// Workers: every sweep driver of this run fans out on the given pool
+	// instead. Hand the same engine.NewSharedPool to many concurrent Run
+	// calls — as the clrserve job server does — to bound their total
+	// fan-out with one machine-wide budget. Progress and Timer still attach
+	// per-invocation (the hooks ride on a copy; the concurrency budget is
+	// shared through it).
+	SharedPool *engine.Pool
 
 	// CollectStats enables the observability layer: every System gets its
 	// own metrics.Registry (queue-occupancy histograms, timing-stall

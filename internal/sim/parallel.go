@@ -6,9 +6,14 @@ import (
 	"clrdram/internal/engine"
 )
 
-// pool builds the experiment-execution pool for one driver invocation.
+// pool builds the experiment-execution pool for one driver invocation: the
+// caller-owned SharedPool when set (its concurrency budget is shared with
+// every other run holding it), a fresh Workers-wide pool otherwise.
 func (o Options) pool() *engine.Pool {
-	p := engine.NewPool(o.Workers)
+	p := o.SharedPool
+	if p == nil {
+		p = engine.NewPool(o.Workers)
+	}
 	if o.Progress != nil {
 		p = p.WithProgress(o.Progress)
 	}

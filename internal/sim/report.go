@@ -302,7 +302,39 @@ type SweepReport struct {
 	Fig13              *Fig13Result        `json:"fig13,omitempty"`
 	Fig15              []Fig15Row          `json:"fig15,omitempty"`
 	Fig15Fractions     []float64           `json:"fig15_fractions,omitempty"`
+	Comparison         []ComparisonRow     `json:"comparison,omitempty"`
 	Timing             engine.TimerSummary `json:"timing"` // non-deterministic
+}
+
+// BuildSweepReport assembles the canonical SweepReport for a sweep-kind
+// spec's Outcome — the document clrserve serves for fig12/fig13/fig15/
+// comparison jobs, and the reference a determinism gate rebuilds from a
+// direct Run with the same spec and options. Timing is taken from
+// opts.Timer when attached (Canonical strips it either way).
+func BuildSweepReport(spec Spec, out Outcome, opts Options) (SweepReport, error) {
+	d := opts.withDefaults()
+	rep := SweepReport{
+		Schema:             SweepSchema,
+		Seed:               d.Seed,
+		TargetInstructions: d.TargetInstructions,
+	}
+	switch spec.kind {
+	case specFig12:
+		rep.Fig12 = out.Fig12
+	case specFig13:
+		rep.Fig13 = out.Fig13
+	case specFig15:
+		rep.Fig15 = out.Fig15
+		rep.Fig15Fractions = spec.fractions
+	case specComparison:
+		rep.Comparison = out.Comparison
+	default:
+		return rep, fmt.Errorf("sim: BuildSweepReport: %s spec is not a sweep", spec.kind)
+	}
+	if opts.Timer != nil {
+		rep.Timing = opts.Timer.Summary()
+	}
+	return rep, nil
 }
 
 // Canonical returns the report with its non-deterministic Timing zeroed.
@@ -347,6 +379,12 @@ func (r SweepReport) WriteText(w io.Writer) error {
 	}
 	if len(r.Fig15) > 0 {
 		fmt.Fprintf(w, "fig15: %d tREFW settings × %d fractions\n", len(r.Fig15), len(r.Fig15Fractions))
+	}
+	if len(r.Comparison) > 0 {
+		fmt.Fprintf(w, "comparison: %d designs\n", len(r.Comparison))
+		for _, c := range r.Comparison {
+			fmt.Fprintf(w, "  %-24s ipc=%.3f energy=%.3f\n", c.Name, c.NormIPC, c.NormEnergy)
+		}
 	}
 	tm := r.Timing
 	if tm.Runs > 0 {

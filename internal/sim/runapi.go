@@ -131,6 +131,13 @@ func WithFastForward(on bool) Option {
 	return func(o *Options) { o.DisableFastForward = !on }
 }
 
+// WithPool runs the spec's experiment fan-out on a caller-owned pool.
+// Passing the same engine.NewSharedPool to several concurrent Runs bounds
+// their combined fan-out by one shared budget (see Options.SharedPool).
+func WithPool(p *engine.Pool) Option {
+	return func(o *Options) { o.SharedPool = p }
+}
+
 // WithProgress attaches a progress sink for sweep drivers.
 func WithProgress(p engine.Progress) Option {
 	return func(o *Options) { o.Progress = p }

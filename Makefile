@@ -1,12 +1,12 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate and three explicit end-to-end gates on top of
-# both tiers: ffdiff (fast-forward vs ticked simulation), ckdiff
-# (compiled circuit kernel vs interpreted loop), and serve-smoke
-# (clrserve daemon report vs direct sim.Run, byte-identical).
+# gofmt cleanliness gate, a docs gate, and three explicit end-to-end gates
+# on top of both tiers: ffdiff (fast-forward vs ticked simulation), ckdiff
+# (compiled + batched circuit kernels vs interpreted loop), and
+# serve-smoke (clrserve daemon report vs direct sim.Run, byte-identical).
 
-.PHONY: all tier1 race check fmt ffdiff ckdiff serve-smoke bench bench-ff bench-circuit report
+.PHONY: all tier1 race check fmt docs-check ffdiff ckdiff serve-smoke bench bench-ff bench-circuit report
 
 all: check
 
@@ -23,6 +23,20 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# docs-check is the documentation gate: gofmt cleanliness, go vet, and a
+# godoc audit that every exported top-level identifier in the solver
+# packages (internal/circuit, internal/spice) carries a doc comment — the
+# batched-kernel PR's documentation pass keeps these two packages fully
+# navigable from godoc alone.
+docs-check: fmt
+	go vet ./internal/circuit/ ./internal/spice/
+	@bad="$$(awk 'FNR==1{prev=""} \
+		/^(func|type|var|const) [A-Z]/ || /^func \([a-z] \*?[A-Z][A-Za-z0-9]*\) [A-Z]/ { \
+			if (prev !~ /^\/\//) print FILENAME":"FNR": "$$0 } \
+		{prev=$$0}' $$(ls internal/circuit/*.go internal/spice/*.go | grep -v _test))"; \
+	if [ -n "$$bad" ]; then \
+		echo "exported identifiers missing doc comments:"; echo "$$bad"; exit 1; fi
+
 # ffdiff proves the next-event fast-forward path bit-identical to the
 # ticked loop: same Result, same canonical RunReport, same figure CSVs,
 # across the full 71-profile workload set, a 4-core mix, and an
@@ -31,15 +45,21 @@ fmt:
 ffdiff:
 	go test ./internal/sim -run 'TestFastForwardIdentity' -count=1
 
-# ckdiff proves the compiled circuit-stepping kernel bit-identical to the
-# interpreted reference loop: exact RawTimings equality over every netlist
-# (3 modes × activate/precharge/write, nominal + Monte Carlo variation
-# draws + the refresh-window sweep), plus the in-place Reparam path vs
-# rebuilding from scratch, and kernel-level stepwise identity under
-# post-compile mutation (DESIGN.md §10). Also part of `go test ./...`.
+# ckdiff proves the compiled circuit-stepping kernel AND the batched
+# K-draw kernel bit-identical to the interpreted reference loop: exact
+# RawTimings equality over every netlist (6 modes × activate/precharge/
+# write, nominal + Monte Carlo variation draws + the refresh-window
+# sweep), the in-place Reparam path vs rebuilding from scratch,
+# kernel-level stepwise identity under post-compile mutation, batched
+# extraction vs the single-instance path at several widths, Monte Carlo
+# invariance under the batch width, per-lane failure isolation, and the
+# CheckStride overshoot bound on all three paths (DESIGN.md §10, §12).
+# Ends with a K>1 smoke run of the shipped binary. Also part of
+# `go test ./...`.
 ckdiff:
-	go test ./internal/spice -run 'TestCompiledIdentity|TestReparamMatchesRebuild' -count=1
-	go test ./internal/circuit -run 'TestKernelIdentity|TestRecompile' -count=1
+	go test ./internal/spice -run 'TestCompiledIdentity|TestReparamMatchesRebuild|TestBatchExtract|TestMonteCarloBatchWidthIdentity|TestCheckStrideOvershootBound' -count=1
+	go test ./internal/circuit -run 'TestKernelIdentity|TestRecompile|TestBatch' -count=1
+	go run ./cmd/circuitsim -ckbatch 4 -iters 64 -table1 >/dev/null
 
 # serve-smoke is the end-to-end determinism gate of the clrserve daemon:
 # start it on a random port, submit a tiny Fig. 12 sweep over HTTP, poll
@@ -50,7 +70,7 @@ ckdiff:
 serve-smoke:
 	go run ./cmd/clrserve -smoke
 
-check: tier1 race fmt ffdiff ckdiff serve-smoke
+check: tier1 race fmt docs-check ffdiff ckdiff serve-smoke
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
@@ -64,7 +84,9 @@ bench-ff:
 # bench-circuit measures the compiled stepping kernel against the seed
 # configuration (interpreted loop, stop condition checked every step) at
 # three granularities — raw step, full extraction, parallel Monte Carlo
-# campaign — and writes BENCH_circuit.json (EXPERIMENTS.md table W2).
+# campaign — then sweeps the campaign over batch widths (interleaved
+# rounds, per-width minima as the least-interference estimate) and
+# writes BENCH_circuit.json (EXPERIMENTS.md tables W2 and W3).
 bench-circuit:
 	go run ./cmd/circuitsim -bench -bench-out BENCH_circuit.json
 

@@ -10,9 +10,11 @@
 //
 // -iters controls the Monte Carlo draw count (paper: 10000; default 2000 —
 // the compiled stepping kernel made the paper-scale methodology the
-// default). -ckcompile=off pins the interpreted stepping path (results are
-// bit-identical either way; see make ckdiff). -cpuprofile/-memprofile write
-// pprof profiles of whatever work the other flags select.
+// default). -ckcompile=off pins the interpreted stepping path and
+// -ckbatch N sets the Monte Carlo batch width (N draws stepped together
+// through the batched kernel; 1 = unbatched). Results are bit-identical
+// under every combination — see make ckdiff. -cpuprofile/-memprofile
+// write pprof profiles of whatever work the other flags select.
 package main
 
 import (
@@ -22,7 +24,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"testing"
+	"time"
 
 	"clrdram/internal/spice"
 )
@@ -39,6 +43,7 @@ func main() {
 		iters      = flag.Int("iters", 2000, "Monte Carlo iterations per mode")
 		seed       = flag.Int64("seed", 1, "Monte Carlo seed")
 		ckMode     = flag.String("ckcompile", "on", "compiled stepping kernel, on or off (results are bit-identical either way)")
+		ckBatch    = flag.Int("ckbatch", spice.DefaultBatchWidth, "Monte Carlo batch width: draws stepped together through the batched kernel (1 = unbatched; results are bit-identical at every width)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -56,6 +61,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-ckcompile must be on or off, got %q", *ckMode))
 	}
+	if *ckBatch < 1 {
+		fatal(fmt.Errorf("-ckbatch must be >= 1, got %d", *ckBatch))
+	}
+	p.BatchWidth = *ckBatch
+	topts.BatchWidth = *ckBatch
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -170,8 +180,12 @@ func main() {
 	}
 }
 
-// benchReport is the BENCH_circuit.json schema: the compiled-kernel PR's
-// wall-clock evidence, regenerable with `make bench-circuit`.
+// benchReport is the BENCH_circuit.json schema (v2), regenerable with
+// `make bench-circuit`: the compiled-kernel PR's wall-clock evidence plus
+// the batched kernel's draws/s sweep over batch widths. The step, extract
+// and monte_carlo sections are measured exactly as in schema v1 (the
+// monte_carlo campaign runs unbatched, width 1) so v1→v2 numbers stay
+// comparable; v2 adds the batch section.
 type benchReport struct {
 	Schema string `json:"schema"`
 	GOOS   string `json:"goos"`
@@ -197,12 +211,26 @@ type benchReport struct {
 		SeedConfigDrawsPerS float64 `json:"seed_config_draws_per_s"`
 		Speedup             float64 `json:"speedup"`
 	} `json:"monte_carlo"`
+
+	// Batch sweeps the Monte Carlo campaign over batch widths. K=1 routes
+	// through the same single-instance path as monte_carlo's compiled run;
+	// speedup_vs_k1 is each width's draws/s over that width-1 entry.
+	Batch []batchBenchEntry `json:"batch"`
+}
+
+// batchBenchEntry is one batch-width measurement in benchReport.Batch.
+type batchBenchEntry struct {
+	K           int     `json:"k"`
+	DrawsPerS   float64 `json:"draws_per_s"`
+	SpeedupVsK1 float64 `json:"speedup_vs_k1"`
 }
 
 // runBench measures the stepping kernel against the configuration the repo
 // shipped before it (interpreted loop, stop condition checked every step)
-// at three granularities: one raw circuit step, one full extraction on a
-// reused netlist, and a parallel 64-draw Monte Carlo campaign.
+// at three granularities — one raw circuit step, one full extraction on a
+// reused netlist, and a parallel 64-draw Monte Carlo campaign — then
+// sweeps the campaign over batch widths 1..64 (interleaved rounds,
+// per-width minima).
 func runBench(p spice.Params, out string) {
 	step := func(compiled bool) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
@@ -248,11 +276,13 @@ func runBench(p spice.Params, out string) {
 	seedCfg := p
 	seedCfg.Interpreted = true
 	seedCfg.CheckStride = 1
+	seedCfg.BatchWidth = 1
 	compiledCfg := p
 	compiledCfg.Interpreted = false
+	compiledCfg.BatchWidth = 1
 
 	var rep benchReport
-	rep.Schema = "clrdram/bench-circuit/v1"
+	rep.Schema = "clrdram/bench-circuit/v2"
 	rep.GOOS, rep.GOARCH, rep.CPUs = runtime.GOOS, runtime.GOARCH, runtime.NumCPU()
 
 	fmt.Fprintln(os.Stderr, "circuitsim: benchmarking raw step...")
@@ -275,6 +305,39 @@ func runBench(p spice.Params, out string) {
 	rep.MonteCarlo.SeedConfigDrawsPerS = mcDraws * 1e9 / float64(mcs.NsPerOp())
 	rep.MonteCarlo.Speedup = float64(mcs.NsPerOp()) / float64(mcc.NsPerOp())
 
+	// The batch sweep interleaves the widths round-robin and keeps each
+	// width's MINIMUM campaign time across the rounds. Interleaving
+	// exposes every width to the same conditions within each round
+	// (measuring one width to completion before the next lets
+	// machine-speed drift masquerade as a width effect), and on a shared
+	// host timing noise is one-sided — interference only ever inflates a
+	// round — so the per-width minimum is the least-interference estimate
+	// of each width's true campaign cost, and ratios of minima the
+	// cleanest speedup estimate.
+	widths := []int{1, 4, 8, 16, 32, 64}
+	const batchRounds = 13
+	fmt.Fprintf(os.Stderr, "circuitsim: benchmarking batched Monte Carlo, K in %v...\n", widths)
+	batchTimes := make([][]float64, len(widths))
+	for r := 0; r < batchRounds; r++ {
+		for wi, k := range widths {
+			q := compiledCfg
+			q.BatchWidth = k
+			start := time.Now()
+			if _, err := spice.MonteCarlo(q, spice.ModeHighPerf, mcDraws, 9, 0.05); err != nil {
+				fatal(err)
+			}
+			batchTimes[wi] = append(batchTimes[wi], time.Since(start).Seconds())
+		}
+	}
+	for wi, k := range widths {
+		sort.Float64s(batchTimes[wi])
+		best := batchTimes[wi][0]
+		rep.Batch = append(rep.Batch, batchBenchEntry{K: k, DrawsPerS: mcDraws / best})
+	}
+	for i := range rep.Batch {
+		rep.Batch[i].SpeedupVsK1 = rep.Batch[i].DrawsPerS / rep.Batch[0].DrawsPerS
+	}
+
 	w := os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
@@ -295,6 +358,11 @@ func runBench(p spice.Params, out string) {
 			rep.Step.InterpretedNsPerOp, rep.Step.CompiledNsPerOp, rep.Step.Speedup,
 			rep.Extract.SeedConfigNsPerOp/1e6, rep.Extract.CompiledNsPerOp/1e6, rep.Extract.Speedup,
 			rep.MonteCarlo.SeedConfigDrawsPerS, rep.MonteCarlo.CompiledDrawsPerS, rep.MonteCarlo.Speedup)
+		fmt.Printf("(batch draws/s:")
+		for _, e := range rep.Batch {
+			fmt.Printf(" K=%d %.0f [%.2fx]", e.K, e.DrawsPerS, e.SpeedupVsK1)
+		}
+		fmt.Println(")")
 	}
 }
 

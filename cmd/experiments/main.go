@@ -68,6 +68,7 @@ func main() {
 		statsOut  = flag.String("stats-out", "", "write the sweep report as JSON to this file ('-' for stdout; implies -stats)")
 		ffMode    = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
 		ckMode    = flag.String("ckcompile", "on", "compiled circuit-stepping kernel, on or off (results are bit-identical either way)")
+		ckBatch   = flag.Int("ckbatch", spice.DefaultBatchWidth, "circuit Monte Carlo batch width (1 = unbatched; results are bit-identical at every width)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -101,6 +102,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("-ckcompile must be on or off, got %q", *ckMode))
 	}
+	if *ckBatch < 1 {
+		fatal(fmt.Errorf("-ckbatch must be >= 1, got %d", *ckBatch))
+	}
+	spiceOpts.BatchWidth = *ckBatch
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -1,0 +1,337 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// laneCtl is the per-lane switch control state (in production each lane's
+// switch closures capture their own Subarray; here each lane gets its own
+// control so lanes can flip independently).
+type laneCtl struct {
+	sw  bool
+	hot bool // extreme values that make the lane diverge once sw is on
+}
+
+// buildBatchLane constructs the batch test netlist — every batchable
+// device kind and drive class, no foreign devices — with component values,
+// initial voltages and drive parameters scaled per lane so lanes are
+// structurally identical but numerically distinct.
+func buildBatchLane(lane int, ctl *laneCtl) *Circuit {
+	f := 1 + 0.03*float64(lane)
+	c := New(5)
+	vdd := c.AddNode("vdd", 1e-15)
+	c.DriveDC(vdd, 1.2*f)
+	var line []Node
+	for i := 0; i < 4; i++ {
+		capF := 20e-15 * f
+		if i == 0 && ctl.hot {
+			capF = 1e-21 // switch current into ~zero capacitance: diverges
+		}
+		n := c.AddNode(fmt.Sprintf("bl%d", i), capF)
+		c.SetV(n, 0.6/f)
+		line = append(line, n)
+		if i > 0 {
+			c.Add(NewResistor(line[i-1], n, 7e3*f))
+		}
+	}
+	cell := c.AddNode("cell", 22e-15*f)
+	c.SetV(cell, 1.1)
+	wl := c.AddNode("wl", 1e-15)
+	c.DriveRamp(wl, 0, 2.2*f, 0.3e-9, 0.2e-9)
+	c.Add(&MOSFET{D: line[3], G: wl, S: cell, K: 0.9e-4 * f, Vt: 0.5 / f})
+	c.Add(&CurrentSink{N: cell, I: 1e-12 * f})
+	a := c.AddNode("a", 50e-15)
+	b := c.AddNode("b", 50e-15)
+	c.SetV(a, 0.65*f)
+	c.SetV(b, 0.55)
+	san := c.AddNode("san", 1e-15)
+	sap := c.AddNode("sap", 1e-15)
+	c.DriveRamp(san, 0.6, 0, 1e-9, 1e-9)
+	c.Drive(sap, Step(0.6, 1.2*f, 1e-9, 1e-9)) // undeclared: stays a closure
+	c.Add(&MOSFET{D: a, G: b, S: san, K: 2e-4 * f, Vt: 0.4})
+	c.Add(&MOSFET{D: b, G: a, S: san, K: 2e-4, Vt: 0.4 * f})
+	c.Add(&MOSFET{D: a, G: b, S: sap, K: 2e-4 * f, Vt: 0.4, PMOS: true})
+	c.Add(&MOSFET{D: b, G: a, S: sap, K: 2e-4, Vt: 0.4, PMOS: true})
+	c.Add(&Switch{A: line[0], B: vdd, G: 3e-4 * f, On: func() bool { return ctl.sw }})
+	osc := c.AddNode("osc", 2e-15)
+	amp := 0.2 * f
+	c.Drive(osc, func(t float64) float64 { return 0.3 + amp*math.Sin(2e8*t) })
+	c.Add(NewResistor(osc, line[2], 9e3))
+	return c
+}
+
+// batchFixture pairs a Batch over K perturbed lanes with K compiled
+// single-circuit references built from the same values, plus lockstep
+// switch controls for both sides.
+type batchFixture struct {
+	b          *Batch
+	lanes      []*Circuit // donor circuits inside the batch
+	refs       []*Circuit // compiled single-path references
+	ctlB, ctlR []*laneCtl
+	live       []bool // which refs the comparison steps (mirrors parking)
+	nodes      int
+}
+
+func buildBatchFixture(t testing.TB, k int, hot map[int]bool) *batchFixture {
+	fx := &batchFixture{live: make([]bool, k)}
+	for l := 0; l < k; l++ {
+		cb := &laneCtl{hot: hot[l]}
+		cr := &laneCtl{hot: hot[l]}
+		fx.ctlB = append(fx.ctlB, cb)
+		fx.ctlR = append(fx.ctlR, cr)
+		fx.lanes = append(fx.lanes, buildBatchLane(l, cb))
+		ref := buildBatchLane(l, cr)
+		ref.SetCompiled(true)
+		fx.refs = append(fx.refs, ref)
+		fx.live[l] = true
+	}
+	fx.nodes = len(fx.lanes[0].v)
+	b, err := CompileBatch(fx.lanes)
+	if err != nil {
+		t.Fatalf("CompileBatch: %v", err)
+	}
+	fx.b = b
+	return fx
+}
+
+// setSwitch flips lane l's switch control on both sides.
+func (fx *batchFixture) setSwitch(l int, on bool) {
+	fx.ctlB[l].sw = on
+	fx.ctlR[l].sw = on
+}
+
+// stepBoth advances the batch and every live reference n steps, requiring
+// bitwise-equal voltages, clocks and errors after every step.
+func (fx *batchFixture) stepBoth(t *testing.T, n int, dt float64) {
+	t.Helper()
+	for s := 0; s < n; s++ {
+		fx.b.Step(dt)
+		for l, ref := range fx.refs {
+			if !fx.live[l] {
+				continue
+			}
+			errR := ref.Step(dt)
+			errB := fx.b.Err(l)
+			if (errB == nil) != (errR == nil) {
+				t.Fatalf("step %d lane %d: error mismatch: batch=%v single=%v", s, l, errB, errR)
+			}
+			if errB != nil {
+				if errB.Error() != errR.Error() {
+					t.Fatalf("step %d lane %d: error text mismatch:\n  %v\n  %v", s, l, errB, errR)
+				}
+				fx.live[l] = false // diverged lanes are parked by Step
+				continue
+			}
+			fx.compareLane(t, l, fmt.Sprintf("step %d", s))
+		}
+	}
+}
+
+// compareLane requires a lane's batched state to equal its reference.
+func (fx *batchFixture) compareLane(t *testing.T, l int, at string) {
+	t.Helper()
+	ref := fx.refs[l]
+	if bt, rt := fx.b.Time(l), ref.Time(); bt != rt {
+		t.Fatalf("%s lane %d: time mismatch: batch %v != single %v", at, l, bt, rt)
+	}
+	for i := 0; i < fx.nodes; i++ {
+		if vb, vr := fx.b.V(l, Node(i)), ref.V(Node(i)); vb != vr {
+			t.Fatalf("%s lane %d node %q: batch %v != single %v (Δ=%g)",
+				at, l, ref.Name(Node(i)), vb, vr, vb-vr)
+		}
+	}
+}
+
+func TestBatchIdentityStepwise(t *testing.T) {
+	// The batched kernel must be bit-identical to the compiled single-lane
+	// path (and therefore the interpreted loop) for EVERY lane at every
+	// step: lanes are independent circuits, so no batch width reassociates
+	// any float64 sum, at the shipped default width 8 and at width 4.
+	for _, k := range []int{4, 8} {
+		t.Run(fmt.Sprintf("K%d", k), func(t *testing.T) {
+			fx := buildBatchFixture(t, k, nil)
+			fx.stepBoth(t, 2000, 1e-12)
+			fx.setSwitch(1, true) // flip one lane's switch, others unchanged
+			fx.stepBoth(t, 1500, 1e-12)
+			fx.setSwitch(1, false)
+			fx.setSwitch(3, true)
+			fx.stepBoth(t, 1000, 1e-12)
+			// A change of dt rebases every live lane's derived clock
+			// identically.
+			fx.stepBoth(t, 500, 2e-12)
+		})
+	}
+}
+
+func TestBatchWidthOne(t *testing.T) {
+	// Degenerate width: a 1-lane batch is exactly the compiled kernel.
+	fx := buildBatchFixture(t, 1, nil)
+	fx.stepBoth(t, 3000, 1e-12)
+}
+
+func TestBatchParkFreezesLane(t *testing.T) {
+	fx := buildBatchFixture(t, 3, nil)
+	fx.stepBoth(t, 800, 1e-12)
+
+	// Park lane 1: its state and clock must freeze exactly where they are.
+	frozenT := fx.b.Time(1)
+	frozenV := make([]float64, fx.nodes)
+	for i := range frozenV {
+		frozenV[i] = fx.b.V(1, Node(i))
+	}
+	fx.b.Park(1)
+	fx.live[1] = false
+	if fx.b.Active() != 2 {
+		t.Fatalf("Active = %d after parking 1 of 3, want 2", fx.b.Active())
+	}
+	fx.b.Park(1) // idempotent
+	if fx.b.Active() != 2 {
+		t.Fatalf("Active = %d after double park, want 2", fx.b.Active())
+	}
+	fx.stepBoth(t, 700, 1e-12)
+	if fx.b.Time(1) != frozenT {
+		t.Fatalf("parked lane clock moved: %v != %v", fx.b.Time(1), frozenT)
+	}
+	for i := range frozenV {
+		if got := fx.b.V(1, Node(i)); got != frozenV[i] {
+			t.Fatalf("parked lane node %d changed: %v != %v", i, got, frozenV[i])
+		}
+	}
+
+	// Survivors must be unaffected by the column compaction.
+	fx.compareLane(t, 0, "post-park")
+	fx.compareLane(t, 2, "post-park")
+
+	// Unpark: the lane resumes from its frozen state; stepping it with a
+	// different dt rebases its clock exactly like the single path would.
+	fx.b.Unpark(1)
+	fx.b.Unpark(1) // idempotent
+	if fx.b.Active() != 3 {
+		t.Fatalf("Active = %d after unpark, want 3", fx.b.Active())
+	}
+	fx.live[1] = true
+	fx.stepBoth(t, 600, 2e-12)
+}
+
+func TestBatchDivergenceIsolation(t *testing.T) {
+	// One lane diverges (switch current into a ~zero capacitance); it must
+	// record the single path's exact error and park itself, while every
+	// other lane continues bit-identically — at width 4 and at the
+	// shipped default width 8.
+	for _, k := range []int{4, 8} {
+		t.Run(fmt.Sprintf("K%d", k), func(t *testing.T) {
+			fx := buildBatchFixture(t, k, map[int]bool{2: true})
+			fx.stepBoth(t, 100, 1e-12)
+			fx.setSwitch(2, true)
+			fx.stepBoth(t, 400, 1e-12)
+			err := fx.b.Err(2)
+			if err == nil {
+				t.Fatal("hot lane did not diverge")
+			}
+			if !strings.Contains(err.Error(), `node "bl0" diverged`) {
+				t.Fatalf("unexpected divergence error: %v", err)
+			}
+			if !fx.b.Parked(2) {
+				t.Fatal("diverged lane was not parked")
+			}
+			fx.b.Unpark(2) // errored lanes must refuse to resume
+			if !fx.b.Parked(2) {
+				t.Fatal("Unpark resumed an errored lane")
+			}
+			fx.stepBoth(t, 500, 1e-12)
+
+			fx.b.ClearErrors()
+			if fx.b.Err(2) != nil {
+				t.Fatal("ClearErrors left the lane error in place")
+			}
+		})
+	}
+}
+
+func TestBatchScatterGatherRoundTrip(t *testing.T) {
+	fx := buildBatchFixture(t, 3, nil)
+	fx.stepBoth(t, 900, 1e-12)
+
+	// Scatter pushes batched state back into the lane circuits.
+	fx.b.Scatter()
+	for l, c := range fx.lanes {
+		if c.Time() != fx.b.Time(l) {
+			t.Fatalf("lane %d: scattered time %v != batch %v", l, c.Time(), fx.b.Time(l))
+		}
+		for i := 0; i < fx.nodes; i++ {
+			if c.V(Node(i)) != fx.b.V(l, Node(i)) {
+				t.Fatalf("lane %d node %d: scattered %v != batch %v", l, i, c.V(Node(i)), fx.b.V(l, Node(i)))
+			}
+		}
+	}
+
+	// Phase boundary: apply a per-lane drive change that reads the current
+	// state (like spice's enableSAs), mirror it on the references, regather
+	// and keep stepping — identity must survive the round trip.
+	for l, c := range fx.lanes {
+		t0 := c.Time() + 0.1e-9
+		v0 := c.V(Node(2))
+		c.DriveRamp(Node(2), v0, 0.9+0.01*float64(l), t0, 0.5e-9)
+		fx.refs[l].DriveRamp(Node(2), v0, 0.9+0.01*float64(l), t0, 0.5e-9)
+	}
+	if err := fx.b.Gather(); err != nil {
+		t.Fatalf("Gather after drive change: %v", err)
+	}
+	fx.stepBoth(t, 800, 1e-12)
+}
+
+func TestCompileBatchRejectsForeignDevices(t *testing.T) {
+	ctl := &laneCtl{}
+	c := buildBatchLane(0, ctl)
+	c.Add(&expDecay{N: 1, G: 1e-6})
+	if _, err := CompileBatch([]*Circuit{c}); err == nil {
+		t.Fatal("CompileBatch accepted a foreign device type")
+	}
+}
+
+func TestCompileBatchRejectsStructuralMismatch(t *testing.T) {
+	ctl0, ctl1 := &laneCtl{}, &laneCtl{}
+	c0 := buildBatchLane(0, ctl0)
+	c1 := buildBatchLane(1, ctl1)
+	n := c1.AddNode("extra", 1e-15)
+	c1.Add(NewResistor(n, Ground, 1e3))
+	_, err := CompileBatch([]*Circuit{c0, c1})
+	if err == nil {
+		t.Fatal("CompileBatch accepted lanes with different structure")
+	}
+	if !strings.Contains(err.Error(), "lane 1") {
+		t.Fatalf("mismatch error does not name the offending lane: %v", err)
+	}
+}
+
+func TestCompileBatchRejectsEmpty(t *testing.T) {
+	if _, err := CompileBatch(nil); err == nil {
+		t.Fatal("CompileBatch accepted zero lanes")
+	}
+}
+
+func TestBatchStepZeroAlloc(t *testing.T) {
+	fx := buildBatchFixture(t, 8, nil)
+	if n := testing.AllocsPerRun(200, func() {
+		fx.b.Step(1e-12)
+	}); n != 0 {
+		t.Fatalf("batched Step allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func BenchmarkBatchStep(b *testing.B) {
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			fx := buildBatchFixture(b, k, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fx.b.Step(1e-12)
+			}
+			b.ReportMetric(float64(b.N)*float64(k)/b.Elapsed().Seconds(), "lanesteps/s")
+		})
+	}
+}

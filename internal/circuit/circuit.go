@@ -1,22 +1,3 @@
-// Package circuit is a small transient circuit simulator — the substrate
-// that replaces SPICE for the paper's circuit-level evaluation (§7). It
-// solves networks of capacitive nodes connected by resistors, square-law
-// MOSFETs and constant-current (leakage) elements with explicit fixed-step
-// integration: at every step each device stamps its current into its
-// terminal nodes and each floating node integrates dV = I·dt/C.
-//
-// Explicit integration is adequate here because a DRAM subarray is stiff
-// only at sub-picosecond scales: with the default 1 ps step, the fastest
-// time constant in the netlists of internal/spice (a strong write driver
-// into a bitline segment) is ≈50 ps, comfortably above the stability bound.
-// The integrator additionally guards against instability by clamping node
-// voltages to a configurable rail window and reporting divergence.
-//
-// Stepping runs through one of two paths with bit-identical results
-// (DESIGN.md §10): the interpreted loop dispatches Stamp through the Device
-// interface, while the default compiled path (Compile) flattens the devices
-// into struct-of-arrays tables and the drives into a pre-evaluated plan.
-// SetCompiled(false) pins the interpreted loop for debugging.
 package circuit
 
 import (

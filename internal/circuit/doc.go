@@ -1,0 +1,47 @@
+// Package circuit is a small transient circuit simulator — the substrate
+// that replaces SPICE for the paper's circuit-level evaluation (§7). It
+// solves networks of capacitive nodes connected by resistors, square-law
+// MOSFETs and constant-current (leakage) elements with explicit fixed-step
+// integration: at every step each device stamps its current into its
+// terminal nodes and each floating node integrates dV = I·dt/C.
+//
+// Explicit integration is adequate here because a DRAM subarray is stiff
+// only at sub-picosecond scales: with the default 1 ps step, the fastest
+// time constant in the netlists of internal/spice (a strong write driver
+// into a bitline segment) is ≈50 ps, comfortably above the stability bound.
+// The integrator additionally guards against instability by clamping node
+// voltages to a configurable rail window and reporting divergence.
+//
+// # Stepping hierarchy: interpret → compile → batch
+//
+// The same physics runs through three paths, each a mechanical
+// flattening of the one before it, all bit-identical (float addition is
+// not associative, so operation order is part of the contract —
+// DESIGN.md §10 and §12):
+//
+//   - Interpreted (SetCompiled(false)): the reference loop. Each Step
+//     dispatches Stamp through the Device interface and evaluates drive
+//     closures per node. Slowest; keep for debugging and as the
+//     differential oracle in tests.
+//
+//   - Compiled (the default): Compile flattens the device list into
+//     struct-of-arrays tables over an order-preserving run tape and the
+//     drives into a pre-evaluated plan (kernel.go). Zero-alloc stepping,
+//     transparently recompiled after any structural mutation. Use a plain
+//     Circuit and this is what Step runs.
+//
+//   - Batched (CompileBatch): K structurally identical circuits — in
+//     practice K Monte Carlo parameter draws of one netlist — step in
+//     lockstep over draw-major tables where each table row holds its K
+//     lane values contiguously (batch.go). One tape walk per timestep
+//     with K-wide inner loops; finished lanes are compacted out rather
+//     than masked. Use it when stepping many draws of the same topology;
+//     lanes are independent, so results are bit-identical to stepping
+//     each circuit alone at every batch width.
+//
+// Build a netlist with New/AddNode/Add, attach drives with
+// Drive/DriveDC/DriveRamp (the declared forms let the compiled plan skip
+// closure calls), then Step/RunUntil a single circuit — or CompileBatch a
+// slice of them and drive the Batch's Step/Park/Gather/Scatter cycle, as
+// spice's batched Monte Carlo extractor does.
+package circuit

@@ -172,6 +172,17 @@ func (c *Circuit) compile() {
 		}
 	}
 
+	// Hot float64 tables and the node state arrays live on 64-byte-aligned
+	// backing, like the batched kernel's (see growF): deterministic
+	// cache-line placement instead of per-process heap luck. Once aligned,
+	// recompiles append into the same backing and these are no-ops, so the
+	// zero-alloc reparameterisation property above still holds.
+	k.resG, k.skI, k.swG = alignF(k.resG), alignF(k.skI), alignF(k.swG)
+	k.nK, k.nVt = alignF(k.nK), alignF(k.nVt)
+	k.pK, k.pVt = alignF(k.pK), alignF(k.pVt)
+	k.constV = alignF(k.constV)
+	c.v, c.cur, c.cap = alignF(c.v), alignF(c.cur), alignF(c.cap)
+
 	c.kdirty = false
 	c.vdirty = true // new drive plan: re-store the constants once
 }

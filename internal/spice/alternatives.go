@@ -28,6 +28,9 @@ func BuildAlternativeTimings(p Params, opts TableOptions) (*AlternativeTimings, 
 	if opts.Interpreted {
 		p.Interpreted = true
 	}
+	if opts.BatchWidth != 0 {
+		p.BatchWidth = opts.BatchWidth
+	}
 	// Campaign order matters only for the seed offsets, which are kept as
 	// one per design, counted from opts.Seed.
 	modes := []Mode{ModeBaseline, ModeHighPerf, ModeTwinCell, ModeMCR, ModeTLNear}

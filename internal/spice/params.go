@@ -85,7 +85,23 @@ type Params struct {
 	// step); Default sets 4.
 	Interpreted bool
 	CheckStride int
+
+	// BatchWidth is the number of Monte Carlo draws stepped simultaneously
+	// through the batched circuit kernel (circuit.CompileBatch, DESIGN.md
+	// §12). Lanes are independent circuits, so every width produces
+	// bit-identical timings — the knob trades nothing but memory for
+	// throughput. 0 means 1 (unbatched); Default sets DefaultBatchWidth.
+	// Interpreted forces 1 (the interpreted loop has no batched form).
+	BatchWidth int
 }
+
+// DefaultBatchWidth is the Monte Carlo batch width Default selects.
+// Measured draws/s keeps rising through K=64 on the BENCH_circuit.json
+// machine (fixed per-draw costs amortise over the batch), but with
+// shrinking returns past K=32 and growing wasted work when a campaign's
+// draw count doesn't divide the width, so Default stops at 32; see
+// EXPERIMENTS.md W3 for the sweep.
+const DefaultBatchWidth = 32
 
 // Default returns the calibrated nominal parameter set. Component values
 // follow the paper's methodology (Rambus-derived cell/bitline values scaled
@@ -131,6 +147,7 @@ func Default() Params {
 		MaxTime: 400e-9,
 
 		CheckStride: 4,
+		BatchWidth:  DefaultBatchWidth,
 	}
 }
 

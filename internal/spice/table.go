@@ -61,44 +61,80 @@ type mcSpec struct {
 }
 
 // monteCarloMany runs several independent Monte Carlo campaigns as one flat
-// iteration list on the pool, so short campaigns don't serialize behind
-// long ones. Results are indexed like specs.
+// chunk list on the pool, so short campaigns don't serialize behind long
+// ones. Results are indexed like specs.
+//
+// Each task is a chunk of up to p.BatchWidth consecutive iterations of one
+// campaign, extracted together through the batched circuit kernel
+// (BatchExtractor). Each iteration's draw depends only on (seed, iter) —
+// see MonteCarlo — so chunking changes neither any draw nor (lanes being
+// independent) any extracted bit; the worst-case reduction is a
+// commutative max over draws regardless of grouping, and a failing run
+// still reports the lowest failing iteration (errors surface in iteration
+// order within a chunk, and engine.Map keeps the lowest-indexed task
+// failure). Width-1 chunks take the single-instance Extractor path — the
+// exact PR 4 code path, which is what `-ckbatch 1` pins.
 func monteCarloMany(ctx context.Context, pool *engine.Pool, p Params, specs []mcSpec) ([]RawTimings, error) {
-	type task struct {
-		spec, iter int
+	bw := p.BatchWidth
+	if bw < 1 || p.Interpreted {
+		bw = 1
 	}
-	var tasks []task
+	type chunk struct {
+		spec, start, n int
+	}
+	var chunks []chunk
 	for si, sp := range specs {
 		if sp.Iters < 1 {
 			return nil, fmt.Errorf("spice: Monte Carlo needs ≥1 iteration")
 		}
-		for i := 0; i < sp.Iters; i++ {
-			tasks = append(tasks, task{si, i})
+		for i := 0; i < sp.Iters; i += bw {
+			n := bw
+			if i+n > sp.Iters {
+				n = sp.Iters - i
+			}
+			chunks = append(chunks, chunk{si, i, n})
 		}
 	}
-	raws, err := engine.Map(ctx, pool, tasks, func(_ context.Context, _ int, t task) (RawTimings, error) {
-		sp := specs[t.spec]
-		q := p
-		if t.iter > 0 { // iteration 0 is the nominal draw
-			rng := rand.New(rand.NewSource(engine.DeriveSeed(sp.Seed, t.iter)))
-			q = p.Perturb(rng, sp.Sigma)
+	raws, err := engine.Map(ctx, pool, chunks, func(_ context.Context, _ int, ch chunk) (RawTimings, error) {
+		sp := specs[ch.spec]
+		draws := make([]Params, ch.n)
+		initV := make([]float64, ch.n)
+		for j := range draws {
+			iter := ch.start + j
+			q := p
+			if iter > 0 { // iteration 0 is the nominal draw
+				rng := rand.New(rand.NewSource(engine.DeriveSeed(sp.Seed, iter)))
+				q = p.Perturb(rng, sp.Sigma)
+			}
+			draws[j] = q
+			initV[j] = q.RestoreFrac * q.VDD
+			if sp.InitVFrac != 0 {
+				initV[j] = sp.InitVFrac * q.VDD
+			}
 		}
-		initV := q.RestoreFrac * q.VDD
-		if sp.InitVFrac != 0 {
-			initV = sp.InitVFrac * q.VDD
+		if ch.n == 1 {
+			raw, err := pooledExtract(sp.Mode, draws[0], initV[0])
+			if err != nil {
+				return raw, fmt.Errorf("spice: Monte Carlo iteration %d: %w", ch.start, err)
+			}
+			return raw, nil
 		}
-		raw, err := pooledExtract(sp.Mode, q, initV)
-		if err != nil {
-			return raw, fmt.Errorf("spice: Monte Carlo iteration %d: %w", t.iter, err)
+		out, errs := pooledExtractBatch(sp.Mode, draws, initV)
+		var worst RawTimings
+		for j, err := range errs {
+			if err != nil {
+				return worst, fmt.Errorf("spice: Monte Carlo iteration %d: %w", ch.start+j, err)
+			}
+			worst = worstOf(worst, out[j])
 		}
-		return raw, nil
+		return worst, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	out := make([]RawTimings, len(specs))
-	for ti, t := range tasks {
-		out[t.spec] = worstOf(out[t.spec], raws[ti])
+	for ci, ch := range chunks {
+		out[ch.spec] = worstOf(out[ch.spec], raws[ci])
 	}
 	return out, nil
 }
@@ -155,6 +191,13 @@ type TableOptions struct {
 	// every draw — the debugging escape hatch (see Params.Interpreted).
 	// The compiled kernel is bit-identical (make ckdiff) and the default.
 	Interpreted bool
+
+	// BatchWidth overrides Params.BatchWidth for every draw: the number of
+	// Monte Carlo draws stepped simultaneously through the batched circuit
+	// kernel. 0 keeps the Params value (DefaultBatchWidth for Default());
+	// 1 pins the unbatched single-draw path. Every width is bit-identical
+	// (see Params.BatchWidth).
+	BatchWidth int
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -184,6 +227,9 @@ func BuildTimingTable(p Params, opts TableOptions) (*core.TimingTable, error) {
 	opts = opts.withDefaults()
 	if opts.Interpreted {
 		p.Interpreted = true
+	}
+	if opts.BatchWidth != 0 {
+		p.BatchWidth = opts.BatchWidth
 	}
 
 	// One flat batch: the three Monte Carlo campaigns plus the two nominal

@@ -1,12 +1,14 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate, a docs gate, and three explicit end-to-end gates
+# gofmt cleanliness gate, a docs gate, and four explicit end-to-end gates
 # on top of both tiers: ffdiff (fast-forward vs ticked simulation), ckdiff
-# (compiled + batched circuit kernels vs interpreted loop), and
-# serve-smoke (clrserve daemon report vs direct sim.Run, byte-identical).
+# (compiled + batched circuit kernels vs interpreted loop), serve-smoke
+# (clrserve daemon report vs direct sim.Run, byte-identical), and
+# ffbench-smoke (adaptive fast-forward must not lose to planner-off on the
+# memory-intensive profile).
 
-.PHONY: all tier1 race check fmt docs-check ffdiff ckdiff serve-smoke bench bench-ff bench-circuit report
+.PHONY: all tier1 race check fmt docs-check ffdiff ckdiff serve-smoke ffbench-smoke bench bench-ff bench-circuit report
 
 all: check
 
@@ -70,16 +72,23 @@ ckdiff:
 serve-smoke:
 	go run ./cmd/clrserve -smoke
 
-check: tier1 race fmt docs-check ffdiff ckdiff serve-smoke
+# ffbench-smoke is the fast-forward performance gate: a short interleaved
+# off-vs-adaptive measurement on the memory-intensive profile asserting the
+# adaptive governor keeps planner overhead from dragging throughput below
+# the plain per-cycle loop (within a small noise tolerance).
+ffbench-smoke:
+	go run ./cmd/ffbench -smoke -instructions 300000
+
+check: tier1 race fmt docs-check ffdiff ckdiff serve-smoke ffbench-smoke
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
 
-# bench-ff measures the fast-forward speedup: On/Off pairs over a
-# compute-bound and a memory-intensive profile (see EXPERIMENTS.md's
-# wall-clock table for reference numbers).
+# bench-ff measures the fast-forward payoff across all three modes (off,
+# always-on, adaptive) over the compute-bound, memory-intensive, and random
+# profiles, and writes BENCH_ff.json (EXPERIMENTS.md table W4).
 bench-ff:
-	go test -bench='BenchmarkFastForward' -run=^$$ -count=3 .
+	go run ./cmd/ffbench -out BENCH_ff.json
 
 # bench-circuit measures the compiled stepping kernel against the seed
 # configuration (interpreted loop, stop condition checked every step) at

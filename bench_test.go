@@ -343,15 +343,18 @@ func BenchmarkEndToEndSimulatedInstructions(b *testing.B) {
 
 // --- internal/sim: next-event fast-forward ---
 //
-// On/off pairs run the identical workload with the event-driven cycle
-// skipper enabled and disabled (results are bit-identical by construction —
-// see TestFastForwardIdentityAllProfiles). The compute-bound profile is the
+// Mode triples run the identical workload under the three fast-forward
+// modes (results are bit-identical by construction — see
+// TestFastForwardIdentityAllProfiles). The compute-bound profile is the
 // headline case: long pure-bubble stretches collapse into bulk skips, so
-// `make bench-ff` should show it ≥ 2× faster with the skipper on. The
-// memory-intensive profile bounds the other end, where horizons are short
-// and the skipper mostly falls back to real steps.
+// the planner should show it well over 1.5× faster than the per-cycle
+// loop. The memory-intensive profile bounds the other end, where horizons
+// are short and planning mostly breaks even; the adaptive governor's job
+// there is to hold parity with planner-off. cmd/ffbench runs the same
+// comparison with interleaved rounds and CPU-time minima (`make bench-ff`)
+// — these benchmarks are the `go test -bench` view of it.
 
-func benchFastForward(b *testing.B, name string, ff bool) {
+func benchFastForward(b *testing.B, name string, mode sim.FFMode) {
 	p := benchProfile(name)
 	opts := benchOpts()
 	// A longer run than the figure benches: the quantity under test is the
@@ -360,7 +363,7 @@ func benchFastForward(b *testing.B, name string, ff bool) {
 	opts.TargetInstructions = 1_000_000
 	opts.WarmupRecords = 2_000
 	opts.ProfileRecords = 2_000
-	opts.DisableFastForward = !ff
+	opts.FastForward = mode
 	b.ResetTimer()
 	var instr uint64
 	for i := 0; i < b.N; i++ {
@@ -374,19 +377,27 @@ func benchFastForward(b *testing.B, name string, ff bool) {
 }
 
 func BenchmarkFastForwardComputeBoundOn(b *testing.B) {
-	benchFastForward(b, "416.gamess-like", true)
+	benchFastForward(b, "416.gamess-like", sim.FFAlways)
+}
+
+func BenchmarkFastForwardComputeBoundAdaptive(b *testing.B) {
+	benchFastForward(b, "416.gamess-like", sim.FFAdaptive)
 }
 
 func BenchmarkFastForwardComputeBoundOff(b *testing.B) {
-	benchFastForward(b, "416.gamess-like", false)
+	benchFastForward(b, "416.gamess-like", sim.FFOff)
 }
 
 func BenchmarkFastForwardMemIntensiveOn(b *testing.B) {
-	benchFastForward(b, "429.mcf-like", true)
+	benchFastForward(b, "429.mcf-like", sim.FFAlways)
+}
+
+func BenchmarkFastForwardMemIntensiveAdaptive(b *testing.B) {
+	benchFastForward(b, "429.mcf-like", sim.FFAdaptive)
 }
 
 func BenchmarkFastForwardMemIntensiveOff(b *testing.B) {
-	benchFastForward(b, "429.mcf-like", false)
+	benchFastForward(b, "429.mcf-like", sim.FFOff)
 }
 
 // bn formats a sub-benchmark name.

@@ -50,6 +50,7 @@ func main() {
 		statsF   = flag.Bool("stats", false, "collect the observability report and print it after the run")
 		statsOut = flag.String("stats-out", "", "write the observability report as JSON to this file ('-' for stdout; implies stats collection)")
 		ffMode   = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
+		ffAdapt  = flag.Bool("ff-adaptive", true, "with -fastforward on: adaptively disengage skip planning when skips are too short to pay off")
 	)
 	flag.Parse()
 
@@ -79,8 +80,12 @@ func main() {
 	opts.CollectStats = *statsF || *statsOut != ""
 	switch *ffMode {
 	case "on", "true", "1":
+		opts.FastForward = sim.FFAdaptive
+		if !*ffAdapt {
+			opts.FastForward = sim.FFAlways
+		}
 	case "off", "false", "0":
-		opts.DisableFastForward = true
+		opts.FastForward = sim.FFOff
 	default:
 		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
 	}

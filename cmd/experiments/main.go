@@ -67,6 +67,8 @@ func main() {
 		statsF    = flag.Bool("stats", false, "collect observability stats and print a sweep report (with engine timings) at the end")
 		statsOut  = flag.String("stats-out", "", "write the sweep report as JSON to this file ('-' for stdout; implies -stats)")
 		ffMode    = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
+		ffAdapt   = flag.Bool("ff-adaptive", true, "with -fastforward on: adaptively disengage skip planning when skips are too short to pay off")
+		warmFork  = flag.Bool("warmup-fork", true, "snapshot warmed cache state once per workload set and fork it across sweep configurations (results are byte-identical either way)")
 		ckMode    = flag.String("ckcompile", "on", "compiled circuit-stepping kernel, on or off (results are bit-identical either way)")
 		ckBatch   = flag.Int("ckbatch", spice.DefaultBatchWidth, "circuit Monte Carlo batch width (1 = unbatched; results are bit-identical at every width)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,11 +91,16 @@ func main() {
 	opts.Progress = progressLine
 	switch *ffMode {
 	case "on", "true", "1":
+		opts.FastForward = sim.FFAdaptive
+		if !*ffAdapt {
+			opts.FastForward = sim.FFAlways
+		}
 	case "off", "false", "0":
-		opts.DisableFastForward = true
+		opts.FastForward = sim.FFOff
 	default:
 		fatal(fmt.Errorf("-fastforward must be on or off, got %q", *ffMode))
 	}
+	opts.DisableWarmupFork = !*warmFork
 	var spiceOpts spice.TableOptions
 	switch *ckMode {
 	case "on", "true", "1":

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// cpuSeconds is unavailable off unix; measureOnce falls back to wall time.
+func cpuSeconds() (float64, bool) { return 0, false }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// cpuSeconds returns the process's cumulative user+system CPU time. On a
+// shared host it is far more stable than wall time: scheduler preemption and
+// co-tenant load stretch wall clocks but barely touch consumed CPU.
+func cpuSeconds() (float64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6, true
+}

@@ -234,6 +234,29 @@ func (c *Cache) reconstruct(set, tag uint64) uint64 {
 	return idx << c.lineBits
 }
 
+// Clone returns an independent deep copy of the cache: same configuration,
+// line array, LRU clock, and statistics, sharing no mutable state with the
+// original. It exists for checkpoint-and-fork warmup (sim's WarmupCache),
+// which snapshots the warmed LLC once and forks it across every
+// configuration of a sweep — so the statistics travel too (warmup hits and
+// misses are part of a run's reported LLC counters). Cloning with misses in
+// flight panics: an MSHR's waiters are closures over the original system.
+func (c *Cache) Clone() *Cache {
+	if len(c.mshrs) != 0 {
+		panic(fmt.Sprintf("cache: Clone with %d misses in flight", len(c.mshrs)))
+	}
+	nc := *c
+	backing := make([]line, len(c.sets)*c.cfg.Ways)
+	nc.sets = make([][]line, len(c.sets))
+	for i := range nc.sets {
+		dst := backing[i*c.cfg.Ways : (i+1)*c.cfg.Ways]
+		copy(dst, c.sets[i])
+		nc.sets[i] = dst
+	}
+	nc.mshrs = make(map[uint64]*mshr)
+	return &nc
+}
+
 // Contains reports whether the line holding addr is resident (for tests).
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.locate(c.LineAddr(addr))

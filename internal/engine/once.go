@@ -1,0 +1,53 @@
+package engine
+
+import "sync"
+
+// KeyedOnce is a minimal generic single-flight memo: Do runs build exactly
+// once per key, concurrent callers of the same key block until the first
+// build completes, and the (value, error) pair is cached for the memo's
+// lifetime — errors included, so a failing build is not retried in a storm.
+// The zero value is ready to use.
+//
+// It backs the simulator's checkpoint-and-fork warmup (one warmed
+// architectural state per workload set, forked across every sweep
+// configuration), and is intentionally tiny: no eviction, no context — the
+// caller owns the memo's scope and drops the whole thing to release memory.
+type KeyedOnce[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceCell[V]
+}
+
+type onceCell[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Do returns the cached result for key, building it via build on first use.
+// Exactly one build runs per key even under concurrent calls; the others
+// wait for it.
+func (o *KeyedOnce[K, V]) Do(key K, build func() (V, error)) (V, error) {
+	o.mu.Lock()
+	if o.m == nil {
+		o.m = make(map[K]*onceCell[V])
+	}
+	c, ok := o.m[key]
+	if !ok {
+		c = &onceCell[V]{done: make(chan struct{})}
+		o.m[key] = c
+		o.mu.Unlock()
+		c.v, c.err = build()
+		close(c.done)
+		return c.v, c.err
+	}
+	o.mu.Unlock()
+	<-c.done
+	return c.v, c.err
+}
+
+// Len reports how many keys have been built or are building.
+func (o *KeyedOnce[K, V]) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.m)
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestKeyedOnceSingleFlight hammers one key from many goroutines: exactly
+// one build may run, and every caller must observe its value.
+func TestKeyedOnceSingleFlight(t *testing.T) {
+	var memo KeyedOnce[string, int]
+	var builds atomic.Int32
+	release := make(chan struct{})
+
+	const callers = 32
+	results := make([]int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := memo.Do("k", func() (int, error) {
+				builds.Add(1)
+				<-release // hold the build open so every caller piles up on it
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: unexpected error %v", i, err)
+			}
+			results[i] = v
+		}()
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want exactly 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d saw %d, want 42", i, v)
+		}
+	}
+	if memo.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", memo.Len())
+	}
+}
+
+// TestKeyedOnceCachesError verifies a failing build is memoised too: later
+// callers get the same error without the build re-running (no retry storm).
+func TestKeyedOnceCachesError(t *testing.T) {
+	var memo KeyedOnce[int, string]
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 3; i++ {
+		_, err := memo.Do(7, func() (string, error) {
+			builds++
+			return "", boom
+		})
+		if err != boom {
+			t.Fatalf("call %d: err = %v, want %v", i, err, boom)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("failing build ran %d times, want exactly 1", builds)
+	}
+}
+
+// TestKeyedOnceIndependentKeys proves a slow build on one key does not block
+// Do on another: key independence is what lets the experiment engine's
+// workers warm distinct workload sets concurrently.
+func TestKeyedOnceIndependentKeys(t *testing.T) {
+	var memo KeyedOnce[string, int]
+	blockA := make(chan struct{})
+	started := make(chan struct{})
+
+	go memo.Do("a", func() (int, error) {
+		close(started)
+		<-blockA
+		return 1, nil
+	})
+	<-started
+
+	// With "a" still building, "b" must complete immediately.
+	v, err := memo.Do("b", func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("Do(b) = (%d, %v), want (2, nil) while a is building", v, err)
+	}
+	if memo.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one built, one building)", memo.Len())
+	}
+
+	close(blockA)
+	if v, err := memo.Do("a", func() (int, error) { return -1, nil }); err != nil || v != 1 {
+		t.Fatalf("Do(a) = (%d, %v), want cached (1, nil)", v, err)
+	}
+}

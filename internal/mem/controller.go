@@ -107,6 +107,14 @@ type Controller struct {
 	draining bool
 
 	hitStreak []int // consecutive row hits served per bank (FR-FCFS-Cap)
+	atCap     int   // banks whose streak has reached cfg.RowHitCap
+
+	// openRowQueued[b] counts queued requests (both queues) that target bank
+	// b's currently open row; meaningful only while the bank is open. It
+	// makes the row-timeout exemption check O(1) on the hot paths (bankTimeout
+	// re-derivations, tickRowTimeout scans) instead of a queue walk, at the
+	// cost of O(1) bookkeeping per enqueue/issue and one recount per ACT.
+	openRowQueued []int
 
 	timeoutCycles int64
 
@@ -120,18 +128,43 @@ type Controller struct {
 
 	st Stats
 
-	// Memoised fast-forward horizon (see horizon.go). ffValid is cleared
-	// whenever controller or device state changes in a way the horizon
-	// depends on: request arrival, command issue, completion delivery,
-	// refresh arming/retiming, timeout closes.
-	ffHorizon int64
-	ffValid   bool
-	// Per-bank scratch reused by timeoutHorizon's single-pass queue scan,
-	// and the state-keyed memo for the timeout component (see NextEventCycle).
-	ffIdle         []int64
-	ffRow          []int
+	// Incrementally maintained fast-forward horizon components (horizon.go).
+	// Event sites dirty exactly the components they can move: dirtyBank for
+	// single-bank events (command issue, request arrival), dirtyAllHorizon
+	// for rank-wide ones (PREA, REF, refresh retiming, reconfiguration).
+	// ffGen counts dirtying events so the simulator can cache a joint
+	// horizon across controllers (HorizonGen).
+	ffGen        uint64
+	ffSched      int64 // scheduleHorizon memo, recomputed when dirty or reached
+	ffSchedValid bool
+	// ffEager opts into eager schedule-horizon republication (horizon.go's
+	// SetEagerHorizon): issue and enqueue events recompute the memo
+	// immediately instead of leaving it to the next failed scan. Off by
+	// default so planner-less runs never pay the extra scans.
+	ffEager    bool
+	ffCap      [2]int64 // cappedHits memo per queue: 0 = read, 1 = write
+	ffCapValid [2]bool
+	// Per-bank timeout close entries (geometries ≤ 64 banks; see
+	// timeoutComponent). ffTODirty marks entries to re-derive, ffTOAgg
+	// memoises their minimum, ffTOAll is the all-banks mask.
+	ffBankTO  []int64
+	ffTODirty uint64
+	ffTOAll   uint64
+	ffTOAgg   int64
+	ffTOAggOK bool
+	// Scratch for eagerQueueHorizon's per-bank ACT dedup (row last evaluated
+	// per bank); allocated with ffBankTO (≤ 64-bank geometries).
+	ffActRow []int
+	// Whole-scan fallback memo for geometries beyond 64 banks.
 	ffTimeout      int64
 	ffTimeoutValid bool
+	// Per-stream refresh-arm memos: refArmCycle is a pure function of
+	// (refNext[i], postponement-relevant pending state), so each entry is
+	// keyed by those and reused until a REF issue or retiming moves them.
+	ffRefArm     []int64
+	ffRefArmKey  []float64
+	ffRefArmPend []bool
+	ffRefArmOK   []bool
 
 	// Observability (nil handles when Config.Metrics is nil; see obsTick).
 	collect   bool
@@ -174,6 +207,7 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 		dev:           dev,
 		cfg:           cfg,
 		hitStreak:     make([]int, dev.Config().Banks()),
+		openRowQueued: make([]int, dev.Config().Banks()),
 		timeoutCycles: int64(math.Ceil(cfg.RowTimeoutNS / dev.Config().ClockNS)),
 		refNext:       make([]float64, len(cfg.Refresh)),
 		refPending:    -1,
@@ -184,6 +218,13 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("mem: refresh stream %d has non-positive interval", i)
 		}
 		c.refNext[i] = s.Interval
+	}
+	c.initRefArmMemo()
+	if banks := dev.Config().Banks(); banks <= 64 {
+		c.ffBankTO = make([]int64, banks)
+		c.ffTOAll = ^uint64(0) >> (64 - uint(banks))
+		c.ffTODirty = c.ffTOAll
+		c.ffActRow = make([]int, banks)
 	}
 	m, err := NewMapper(dev.Config(), cfg.Scheme)
 	if err != nil {
@@ -234,9 +275,20 @@ func (c *Controller) SetRefresh(streams []RefreshStream) error {
 	for i, s := range streams {
 		c.refNext[i] = now + s.Interval
 	}
+	c.initRefArmMemo()
 	c.refPending = -1
-	c.ffValid = false
+	c.dirtyAllHorizon()
 	return nil
+}
+
+// initRefArmMemo (re)allocates the per-stream refresh-arm memo to match
+// refNext. Entries start invalid; each fills lazily on first horizon query.
+func (c *Controller) initRefArmMemo() {
+	n := len(c.refNext)
+	c.ffRefArm = make([]int64, n)
+	c.ffRefArmKey = make([]float64, n)
+	c.ffRefArmPend = make([]bool, n)
+	c.ffRefArmOK = make([]bool, n)
 }
 
 // Clock returns the current device cycle.
@@ -264,14 +316,33 @@ func (c *Controller) Enqueue(req *Request) bool {
 		return false
 	}
 	req.decoded = c.mapper.Decode(req.Addr)
-	req.enqueuedAt = c.dev.Clock()
-	if req.Write {
-		c.writeQ = append(c.writeQ, req)
-	} else {
-		c.readQ = append(c.readQ, req)
-	}
-	c.ffValid = false
+	c.admit(req)
 	return true
+}
+
+// noteEnqueued maintains the open-row request count for a newly queued
+// request.
+func (c *Controller) noteEnqueued(req *Request) {
+	if open, row := c.dev.BankState(req.decoded.Bank); open && row == req.decoded.Row {
+		c.openRowQueued[req.decoded.Bank]++
+	}
+}
+
+// recountOpenRow rebuilds openRowQueued[bank] for the given row (called when
+// an ACT opens it; the queues may already hold requests for it).
+func (c *Controller) recountOpenRow(bank, row int) {
+	n := 0
+	for _, r := range c.readQ {
+		if r.decoded.Bank == bank && r.decoded.Row == row {
+			n++
+		}
+	}
+	for _, r := range c.writeQ {
+		if r.decoded.Bank == bank && r.decoded.Row == row {
+			n++
+		}
+	}
+	c.openRowQueued[bank] = n
 }
 
 // EnqueueDecoded is Enqueue for callers that already hold a decoded address
@@ -281,14 +352,58 @@ func (c *Controller) EnqueueDecoded(req *Request, da Address) bool {
 		return false
 	}
 	req.decoded = da
+	c.admit(req)
+	return true
+}
+
+// admit appends a decoded request to its queue and maintains the horizon
+// bookkeeping. In eager-horizon mode the schedule memo is folded rather than
+// dropped: the newcomer is the youngest request, so it is the only new
+// candidate and no existing candidate's floor or cap status moves — when the
+// settled scan regime is unchanged the new memo is min(old, newcomer's
+// floor), an O(1) update instead of a queue rescan (enqueueEager).
+func (c *Controller) admit(req *Request) {
 	req.enqueuedAt = c.dev.Clock()
+	var (
+		oldSched      int64
+		oldValid      bool
+		preT1, preOsc bool
+	)
+	if c.ffEager {
+		oldSched, oldValid = c.ffSched, c.ffSchedValid
+		preT1 = c.nextDraining(c.draining)
+		preOsc = c.nextDraining(preT1) != preT1
+	}
 	if req.Write {
 		c.writeQ = append(c.writeQ, req)
 	} else {
 		c.readQ = append(c.readQ, req)
 	}
-	c.ffValid = false
-	return true
+	c.noteEnqueued(req)
+	c.dirtyBank(req.decoded.Bank)
+	if c.ffEager {
+		c.enqueueEager(req, oldSched, oldValid, preT1, preOsc)
+	}
+}
+
+// enqueueEager restores the schedule memo after admit's dirtyBank: the O(1)
+// min-fold when the settled scan regime is unchanged, the full republish
+// otherwise (the enqueue flipped a drain watermark or filled an empty
+// system, so candidate scan parity changed).
+func (c *Controller) enqueueEager(req *Request, oldSched int64, oldValid, preT1, preOsc bool) {
+	now := c.dev.Clock()
+	t1 := c.nextDraining(c.draining)
+	osc := c.nextDraining(t1) != t1
+	if !oldValid || preOsc || osc || t1 != preT1 {
+		c.publishEager(now)
+		return
+	}
+	if req.Write == t1 {
+		q := c.scanQueue(t1)
+		oldSched = min(oldSched, c.candidateIssue(q, len(q)-1, req))
+	}
+	c.ffSched = oldSched
+	c.ffSchedValid = true
 }
 
 // Tick advances the controller and device by one device cycle: it fires due
@@ -297,17 +412,14 @@ func (c *Controller) EnqueueDecoded(req *Request, da Address) bool {
 func (c *Controller) Tick() {
 	now := c.dev.Clock()
 
-	fired := false
 	for c.completions.Len() > 0 && c.completions.Peek().cycle <= now {
-		fired = true
+		c.ffGen++ // the heap top moves: cached joint horizons must drop
 		ev := c.completions.Pop()
 		if ev.req.OnComplete != nil {
 			ev.req.OnComplete(ev.cycle)
 		}
 	}
 
-	refBefore := c.refPending
-	closesBefore := c.st.TimeoutCloses
 	issued := c.tickRefresh(now)
 	if !issued && c.refPending == -1 {
 		// A pending refresh blocks new request scheduling: otherwise the
@@ -317,8 +429,12 @@ func (c *Controller) Tick() {
 	if !issued {
 		c.tickRowTimeout(now)
 	}
-	if issued || fired || c.refPending != refBefore || c.st.TimeoutCloses != closesBefore {
-		c.ffValid = false
+	if c.ffEager && !c.ffSchedValid && c.refPending == -1 {
+		// Eager mode: an issue this cycle (schedule, timeout close, or the
+		// REF that just retired) invalidated the schedule memo; republish it
+		// from post-issue state now instead of waiting for the next failed
+		// scan, so the planner can open a span at the very next CPU cycle.
+		c.publishEager(now)
 	}
 	if c.collect {
 		c.obsTick(issued)
@@ -404,6 +520,7 @@ func (c *Controller) tickRefresh(now int64) bool {
 				}
 			}
 			c.refPending = i
+			c.ffGen++ // arming gates scheduling: the horizon shape changes
 			break
 		}
 	}
@@ -425,7 +542,9 @@ func (c *Controller) tickRefresh(now int64) bool {
 			c.dev.Issue(prea)
 			for b := 0; b < banks; b++ {
 				c.resetStreak(b)
+				c.openRowQueued[b] = 0
 			}
+			c.dirtyAllHorizon() // rank-wide: every bank closed
 			return true
 		}
 		return false // wait for tRAS/tWR across open banks
@@ -438,11 +557,15 @@ func (c *Controller) tickRefresh(now int64) bool {
 	c.st.Refreshes++
 	c.refNext[c.refPending] += c.cfg.Refresh[c.refPending].Interval
 	c.refPending = -1
+	c.dirtyAllHorizon() // rank-wide: tRFC busy window + every ACT floor moves
 	return true
 }
 
-// activeQueue selects read or write queue per the drain policy.
+// activeQueue selects read or write queue per the drain policy. A flip
+// dirties the schedule memo: scheduleHorizon's scanned-queue choice and
+// oscillation parity both hang off the draining flag.
 func (c *Controller) activeQueue() *[]*Request {
+	was := c.draining
 	if c.draining {
 		if len(c.writeQ) <= c.cfg.WriteLow {
 			c.draining = false
@@ -452,6 +575,9 @@ func (c *Controller) activeQueue() *[]*Request {
 			c.draining = true
 		}
 	}
+	if c.draining != was {
+		c.dirtySched()
+	}
 	if c.draining {
 		return &c.writeQ
 	}
@@ -460,16 +586,38 @@ func (c *Controller) activeQueue() *[]*Request {
 
 // tickSchedule implements FR-FCFS-Cap over the active queue. Returns true
 // if a command was issued.
+//
+// A scan that issues nothing has, as a byproduct, computed the earliest
+// issue cycle of every candidate it rejected — exactly the schedule-horizon
+// component the fast-forward planner needs. publishSched hands that minimum
+// to the horizon memo, so the planner never has to walk the queues itself
+// (horizon.go's schedComponent is a pure memo read).
 func (c *Controller) tickSchedule(now int64) bool {
 	q := c.activeQueue()
 	if len(*q) == 0 {
+		c.publishSched(ffNever)
+		return false
+	}
+	if c.ffSchedValid && c.ffSched > now {
+		// Memoised failed scan: every candidate's floor lies in the future
+		// (events that could move one dirty the memo), so this cycle's scan
+		// would reject them all again. Replay its only side effect — pass 1
+		// counts a CapTrip per ready-but-withheld row hit per cycle — from
+		// the capped-hit memo and skip the queue walk. This is what makes
+		// dead device ticks O(1) on memory-bound phases in every mode; the
+		// fast-forward planner then skips even that via SkipTicks.
+		if trips := c.cappedHitsMemo(c.draining); trips > 0 {
+			c.st.CapTrips += uint64(trips)
+		}
 		return false
 	}
 
 	// Pass 1 — row hits, oldest first, unless the bank's consecutive-hit
 	// streak has reached the cap while an older request waits on a
 	// different row of the same bank (the "Cap" in FR-FCFS-Cap, which
-	// bounds inter-thread row-hit starvation).
+	// bounds inter-thread row-hit starvation). Failed candidates here are
+	// re-examined (and re-accumulated) by pass 2, so only that pass feeds
+	// the horizon byproduct.
 	for i, req := range *q {
 		open, row := c.dev.BankState(req.decoded.Bank)
 		if !open || row != req.decoded.Row {
@@ -479,13 +627,14 @@ func (c *Controller) tickSchedule(now int64) bool {
 			c.st.CapTrips++
 			continue
 		}
-		if c.issueColumn(req, now) {
+		if issued, _ := c.issueColumn(req, now); issued {
 			c.removeAt(q, i)
 			return true
 		}
 	}
 
 	// Pass 2 — oldest first, issue whatever command the request needs next.
+	minNext := int64(ffNever)
 	for i, req := range *q {
 		open, row := c.dev.BankState(req.decoded.Bank)
 		switch {
@@ -493,50 +642,89 @@ func (c *Controller) tickSchedule(now int64) bool {
 			// Respect the cap here too: if the bank's hit streak is
 			// exhausted and an older conflicting request is waiting (e.g.
 			// for tRAS before its PRE), serving this hit would starve it.
+			// A withheld hit stays withheld until another command issues,
+			// so it contributes nothing to the horizon.
 			if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
 				continue
 			}
-			if c.issueColumn(req, now) {
+			issued, e := c.issueColumn(req, now)
+			if issued {
 				c.removeAt(q, i)
 				return true
 			}
+			minNext = min(minNext, e)
 		case open: // conflict: need PRE
 			// Do not close a row that still has queued row hits that have
 			// not exhausted the cap — pass 1 will serve them first.
 			cmd := dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank}
-			if c.dev.CanIssue(cmd) {
+			if e := c.dev.EarliestIssue(cmd); e <= now {
 				c.classify(req, &c.st.RowBuffer.Conflicts)
 				c.dev.Issue(cmd)
 				c.resetStreak(req.decoded.Bank)
+				c.openRowQueued[req.decoded.Bank] = 0
+				c.dirtyBank(req.decoded.Bank)
 				return true
+			} else {
+				minNext = min(minNext, e)
 			}
 		default: // closed: need ACT
 			cmd := dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row}
-			if c.dev.CanIssue(cmd) {
+			if e := c.dev.EarliestIssue(cmd); e <= now {
 				c.classify(req, &c.st.RowBuffer.Misses)
 				c.dev.Issue(cmd)
 				c.resetStreak(req.decoded.Bank)
+				c.recountOpenRow(req.decoded.Bank, req.decoded.Row)
+				c.dirtyBank(req.decoded.Bank)
 				return true
+			} else {
+				minNext = min(minNext, e)
 			}
 		}
 	}
+	c.publishSched(minNext)
 	return false
 }
 
+// publishSched installs a failed scan's candidate minimum as the schedule
+// horizon memo. Only the settled (fixpoint) drain regime publishes: there the
+// next cycles scan the same queue, so the per-candidate floors ARE the first
+// cycle the scheduler can act. In the period-2 oscillating regime (read queue
+// empty, write queue in (0, WriteLow]) candidates issue only on alternating
+// cycles; the memo stays invalid and the planner treats the schedule as
+// imminent, which is safe (horizons may only be underestimates).
+func (c *Controller) publishSched(h int64) {
+	if c.nextDraining(c.draining) != c.draining {
+		// The memo stays invalid in the oscillating regime in eager mode
+		// too: publishEager refuses it (scan parity depends on the publish
+		// site — see its comment), so there is nothing to republish here.
+		return
+	}
+	c.ffSched = h
+	c.ffSchedValid = true
+}
+
 // issueColumn issues the RD/WR for req if timing allows, scheduling its
-// completion. Returns true on issue.
-func (c *Controller) issueColumn(req *Request, now int64) bool {
+// completion. It returns whether the command issued and, when it did not,
+// the earliest cycle it could (the schedule-horizon byproduct).
+func (c *Controller) issueColumn(req *Request, now int64) (bool, int64) {
 	kind := dram.KindRD
 	if req.Write {
 		kind = dram.KindWR
 	}
 	cmd := dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column}
-	if !c.dev.CanIssue(cmd) {
-		return false
+	if e := c.dev.EarliestIssue(cmd); e > now {
+		return false, e
 	}
 	c.classify(req, &c.st.RowBuffer.Hits)
 	c.dev.Issue(cmd)
 	c.hitStreak[req.decoded.Bank]++
+	if c.hitStreak[req.decoded.Bank] == c.cfg.RowHitCap {
+		c.atCap++
+	}
+	if c.openRowQueued[req.decoded.Bank] > 0 {
+		c.openRowQueued[req.decoded.Bank]--
+	}
+	c.dirtyBank(req.decoded.Bank)
 	if req.Write {
 		c.st.WritesServed++
 		if req.OnComplete != nil {
@@ -548,7 +736,7 @@ func (c *Controller) issueColumn(req *Request, now int64) bool {
 		c.st.ReadLatency.Add(float64(done - req.enqueuedAt))
 		c.completions.Push(completion{cycle: done, req: req})
 	}
-	return true
+	return true, now
 }
 
 // classify counts the request's row-buffer outcome the first time one of its
@@ -575,15 +763,24 @@ func (c *Controller) olderConflictExists(q []*Request, i int) bool {
 
 // tickRowTimeout closes rows that have been idle past the timeout and have
 // no queued requests (the paper's timeout-based row policy, Table 2 note 6).
+//
+// The per-bank scan is gated by the timeout horizon component: entry b of
+// the memo table is exactly the first cycle this function could close bank
+// b's row, so while the aggregate minimum lies in the future no close is
+// possible and the tick costs two compares instead of an O(banks) device
+// walk. The gate is exact, not merely safe — timeoutComponent re-derives
+// dirty or reached entries before answering.
 func (c *Controller) tickRowTimeout(now int64) {
+	if c.timeoutComponent(now) > now {
+		return
+	}
 	banks := c.dev.NumBanks()
 	for b := 0; b < banks; b++ {
 		last, open := c.dev.OpenRowIdleSince(b)
 		if !open || now-last < c.timeoutCycles {
 			continue
 		}
-		_, row := c.dev.BankState(b)
-		if c.rowHasQueuedRequest(b, row) {
+		if c.openRowQueued[b] > 0 {
 			continue
 		}
 		cmd := dram.Command{Kind: dram.KindPRE, Bank: b}
@@ -591,12 +788,15 @@ func (c *Controller) tickRowTimeout(now int64) {
 			c.dev.Issue(cmd)
 			c.resetStreak(b)
 			c.st.TimeoutCloses++
+			c.dirtyBank(b)
 			return // one command per cycle
 		}
 	}
 }
 
 // rowHasQueuedRequest reports whether any queued request targets (bank,row).
+// Hot paths read openRowQueued instead; this queue walk is the test oracle
+// for that counter (and the reference semantics of the timeout exemption).
 func (c *Controller) rowHasQueuedRequest(bank, row int) bool {
 	for _, r := range c.readQ {
 		if r.decoded.Bank == bank && r.decoded.Row == row {
@@ -611,7 +811,12 @@ func (c *Controller) rowHasQueuedRequest(bank, row int) bool {
 	return false
 }
 
-func (c *Controller) resetStreak(bank int) { c.hitStreak[bank] = 0 }
+func (c *Controller) resetStreak(bank int) {
+	if c.hitStreak[bank] >= c.cfg.RowHitCap {
+		c.atCap--
+	}
+	c.hitStreak[bank] = 0
+}
 
 // removeAt removes index i from q preserving order (FCFS age order).
 func (c *Controller) removeAt(q *[]*Request, i int) {

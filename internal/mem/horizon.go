@@ -1,13 +1,11 @@
 package mem
 
 import (
-	"math/bits"
-
 	"clrdram/internal/dram"
 )
 
 // This file is the controller's half of the system simulator's next-event
-// fast-forward path (DESIGN.md §9). NextEventCycle returns a safe lower
+// fast-forward path (DESIGN.md §9, §13). NextEventCycle returns a safe lower
 // bound on the first future device cycle at which Tick would do anything
 // other than advance the clock; SkipTicks then replays a span of such dead
 // cycles in bulk, bit-identically to ticking through them — including the
@@ -23,49 +21,36 @@ import (
 // read queue is empty and the write queue sits in (0, WriteLow]). Horizons
 // may only ever be UNDERESTIMATES: a too-small horizon costs real ticks, a
 // too-large one would skip an action and diverge.
+//
+// The horizon is maintained INCREMENTALLY: instead of one whole-horizon memo
+// dropped on any state change, each component keeps its own memo and the
+// event sites dirty exactly the components they can move (dirtySched,
+// dirtyBank, dirtyAllHorizon in controller.go's Tick machinery). On the
+// high-MPKI profiles CLR-DRAM targets, most events touch one bank and one
+// queue — the old invalidate-and-rescan scheme rebuilt the full per-bank
+// timeout scan and queue walk on every one of them, which made skip planning
+// a net loss exactly where the paper's evaluation lives.
+//
+// Memoised components are functions of frozen controller/device state with
+// one exception: dram.Device.EarliestIssue answers clock-relatively during a
+// refresh's tRFC (it returns refBusyUntil instead of the per-bank floors).
+// Such a memo can sit BELOW what a fresh scan at a later clock would return,
+// which is safe — underestimates only cost real ticks — and self-heals: a
+// component at or below the current clock is always recomputed before use
+// ("recompute on reach").
 
 // ffNever is the horizon of a controller with no future events of its own.
 const ffNever = int64(1) << 62
 
-// NextEventCycle returns the memoised horizon, recomputing it when invalid
-// or already reached. The returned cycle may be in the past relative to the
-// device clock only when an event is due immediately (the caller then takes
-// a real tick).
-//
-// A reached-but-still-valid horizon (the common case right after a skip that
-// consumed the whole dead span) means no state changed — only the clock
-// moved — so the recompute may reuse any component that is a pure function
-// of controller/device state. The timeout component is: its per-bank scan is
-// the most expensive part of the recompute, and c.ffTimeoutValid keeps it
-// across clock-only recomputes, dropping only when ffValid itself drops.
+// NextEventCycle assembles the horizon from its per-component memos,
+// recomputing only components that were dirtied or reached. The returned
+// cycle may be at or before the device clock only when an event is due
+// immediately (the caller then takes a real tick).
 func (c *Controller) NextEventCycle() int64 {
 	now := c.dev.Clock()
-	if !c.ffValid || c.ffHorizon <= now {
-		if !c.ffValid {
-			c.ffTimeoutValid = false
-		}
-		c.ffHorizon = c.computeHorizon(now)
-		c.ffValid = true
-	}
-	return c.ffHorizon
-}
-
-// InvalidateHorizon drops the memoised horizon. The simulator calls it after
-// mutating device state behind the controller's back (dynamic CLR-DRAM
-// reconfiguration changes row modes, and with them every timing lookup the
-// horizon was computed from).
-func (c *Controller) InvalidateHorizon() { c.ffValid = false }
-
-// computeHorizon walks every source of future controller action and returns
-// the earliest: read completions, refresh arming and armed-refresh issue,
-// schedulable request commands, and timeout row closes. Sources are visited
-// cheapest first, and the walk stops as soon as one lands at or before now:
-// the result is clamped to max(h, now), so any component ≤ now fixes the
-// answer at now regardless of the rest.
-func (c *Controller) computeHorizon(now int64) int64 {
 	h := ffNever
 	if c.completions.Len() > 0 {
-		h = min(h, c.completions.Peek().cycle)
+		h = c.completions.Peek().cycle
 		if h <= now {
 			return now
 		}
@@ -93,27 +78,182 @@ func (c *Controller) computeHorizon(now int64) int64 {
 			ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
 			h = min(h, c.dev.EarliestIssue(ref))
 		}
-	} else {
-		// Arming a refresh stream changes refPending — an action even when
-		// no command issues that cycle (it gates scheduling from then on).
-		pending := c.Pending() > 0
-		for i := range c.refNext {
-			h = min(h, c.refArmCycle(i, now, pending))
-		}
-		if h <= now {
-			return now
-		}
-		// tickRowTimeout runs on every cycle without an issued command — also
-		// while a refresh is armed but not yet issuable.
-		h = min(h, c.timeoutH(now))
-		if h <= now {
-			return now
-		}
-		h = min(h, c.scheduleHorizon(now))
+		h = min(h, c.timeoutComponent(now))
 		return max(h, now)
 	}
-	h = min(h, c.timeoutH(now))
+	// Arming a refresh stream changes refPending — an action even when no
+	// command issues that cycle (it gates scheduling from then on).
+	pending := c.Pending() > 0
+	for i := range c.refNext {
+		h = min(h, c.refArmComponent(i, now, pending))
+	}
+	if h <= now {
+		return now
+	}
+	// tickRowTimeout runs on every cycle without an issued command — also
+	// while a refresh is armed but not yet issuable.
+	h = min(h, c.timeoutComponent(now))
+	if h <= now {
+		return now
+	}
+	h = min(h, c.schedComponent(now))
 	return max(h, now)
+}
+
+// HorizonSettled reports whether NextEventCycle currently has a real answer
+// for the schedule component: either the last scheduler scan failed and
+// published its candidate floors (publishSched), or an armed refresh
+// suppresses scheduling entirely (the refresh branch derives the horizon
+// without the memo). While unsettled — right after a command issue or an
+// enqueue, or in the oscillating drain regime — NextEventCycle degrades to
+// "imminent", so a planning attempt cannot find a useful span; the simulator
+// checks this first and real-steps until the next failed scan settles the
+// memo, which costs at most the few CPU cycles to the next device tick.
+func (c *Controller) HorizonSettled() bool {
+	return c.ffSchedValid || c.refPending != -1
+}
+
+// SetEagerHorizon opts the controller into eager schedule-horizon
+// republication: issue and enqueue events recompute the memo from post-event
+// state (publishEager) instead of degrading it to "imminent" until the next
+// failed scheduler scan. On memory-intensive profiles a command issues every
+// few device ticks, so lazy republication leaves the planner gated
+// (HorizonSettled) for a tick or two after every one of them; eager
+// republication raises skip coverage ~35% there. It is off by default
+// because the O(queue) republish scan per issue event currently costs
+// slightly more than the extra skipped cycles recover (see the NewSystem
+// comment in internal/sim); the option and its banked-dedup scan are kept
+// because the balance is machine- and workload-dependent. Results are
+// bit-identical either way (the memo only feeds skip planning).
+func (c *Controller) SetEagerHorizon(on bool) { c.ffEager = on }
+
+// publishEager installs a from-scratch schedule-horizon recompute as the
+// memo, from any point where the drain flag has settled to a fixpoint: the
+// future scan queue is then the same every cycle, so candidate floors are
+// independent of which cycle the publish happened on. In the oscillating
+// drain regime it refuses and leaves the memo invalid, exactly as the lazy
+// path does there: the scanned queue alternates per cycle, so a correct
+// candidate floor depends on whether the publishing event preceded or
+// followed this cycle's scheduler scan — an anchoring the controller cannot
+// see — and guessing wrong by one cycle would overestimate the horizon and
+// skip a live issue. Leaving the memo invalid merely degrades the planner
+// to "imminent" through the (short, actively-issuing) drain tail. The
+// fixpoint fast path dedups candidates per bank (eagerQueueHorizon); >64-
+// bank geometries fall back to the reference scan's fixpoint branch.
+func (c *Controller) publishEager(now int64) {
+	t1 := c.nextDraining(c.draining)
+	if c.nextDraining(t1) != t1 {
+		return
+	}
+	if c.ffBankTO == nil {
+		c.ffSched = c.scheduleHorizon(now)
+	} else {
+		c.ffSched = c.eagerQueueHorizon(c.scanQueue(t1))
+	}
+	c.ffSchedValid = true
+}
+
+// eagerQueueHorizon is the per-bank-deduplicated equivalent of
+// scheduleHorizon's fixpoint path: the minimum candidate floor over q. All
+// row hits on a bank share one floor (same open row, same command kind per
+// queue), all PREs share one, and ACT floors are keyed by (bank, row) —
+// cmd.Row picks the CLR mode whose tFAW applies — so the scan runs at most
+// a couple of EarliestIssue calls per touched bank instead of one per
+// request. Cap-withholding matches candidateIssue exactly: only the oldest
+// hit per bank needs the check, because conflicts accumulate in queue order
+// (an older conflict for the first hit is older than every later hit, and
+// later hits share the first one's floor anyway).
+func (c *Controller) eagerQueueHorizon(q []*Request) int64 {
+	h := int64(ffNever)
+	var seenHit, seenPre, seenAct, conflict uint64
+	for _, req := range q {
+		b := req.decoded.Bank
+		bit := uint64(1) << uint(b)
+		open, row := c.dev.BankState(b)
+		switch {
+		case open && row == req.decoded.Row:
+			if seenHit&bit != 0 {
+				continue
+			}
+			seenHit |= bit
+			if c.hitStreak[b] >= c.cfg.RowHitCap && conflict&bit != 0 {
+				continue // withheld until another issue dirties the memo
+			}
+			kind := dram.KindRD
+			if req.Write {
+				kind = dram.KindWR
+			}
+			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: kind, Bank: b, Row: row, Column: req.decoded.Column}))
+		case open:
+			conflict |= bit
+			if seenPre&bit != 0 {
+				continue
+			}
+			seenPre |= bit
+			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
+		default:
+			conflict |= bit
+			if seenAct&bit != 0 && c.ffActRow[b] == req.decoded.Row {
+				continue
+			}
+			seenAct |= bit
+			c.ffActRow[b] = req.decoded.Row
+			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindACT, Bank: b, Row: req.decoded.Row}))
+		}
+	}
+	return h
+}
+
+// HorizonGen returns a generation counter that advances whenever controller
+// or device state changes in a way NextEventCycle's answer could depend on:
+// request arrival, command issue, completion delivery, refresh arming and
+// retiming, draining flips, and external invalidation. While the counter is
+// unchanged and the clock sits strictly below a previously returned horizon,
+// that horizon is still a valid lower bound — the simulator's fast-forward
+// planner uses this to cache one joint horizon across all channels instead
+// of re-querying every controller on every planning attempt.
+func (c *Controller) HorizonGen() uint64 { return c.ffGen }
+
+// InvalidateHorizon drops every memoised horizon component. The simulator
+// calls it after mutating device state behind the controller's back (dynamic
+// CLR-DRAM reconfiguration changes row modes, and with them every timing
+// lookup the horizon was computed from).
+func (c *Controller) InvalidateHorizon() { c.dirtyAllHorizon() }
+
+// dirtySched invalidates the schedule-dependent memos: the scheduleHorizon
+// component and the capped-hit counts SkipTicks replays. Event sites call it
+// (via dirtyBank) on anything that moves queues, streaks, timing floors, or
+// the draining flag.
+func (c *Controller) dirtySched() {
+	c.ffGen++
+	c.ffSchedValid = false
+	c.ffCapValid[0], c.ffCapValid[1] = false, false
+}
+
+// dirtyBank records an event scoped to one bank: a command issued on it or a
+// request enqueued for it. The schedule memo always drops (queue contents,
+// hit streaks, and rank/bank-group floors are shared), but the per-bank
+// timeout component drops only the touched bank's entry — this is what makes
+// horizon maintenance O(1)-ish per event instead of O(banks × queue).
+func (c *Controller) dirtyBank(b int) {
+	c.dirtySched()
+	if c.ffBankTO != nil {
+		c.ffTODirty |= 1 << uint(b)
+		c.ffTOAggOK = false
+	} else {
+		c.ffTimeoutValid = false
+	}
+}
+
+// dirtyAllHorizon invalidates every component: rank-wide events (PREA, REF,
+// refresh retiming, external reconfiguration) can move any bank's floors.
+func (c *Controller) dirtyAllHorizon() {
+	c.dirtySched()
+	if c.ffBankTO != nil {
+		c.ffTODirty = c.ffTOAll
+		c.ffTOAggOK = false
+	}
+	c.ffTimeoutValid = false
 }
 
 // refArmCycle returns the first cycle ≥ now at which tickRefresh would arm
@@ -152,6 +292,46 @@ func (c *Controller) refArmCycle(i int, now int64, pending bool) int64 {
 		t++
 	}
 	return t
+}
+
+// refArmComponent serves refArmCycle for stream i through its per-stream
+// memo. The arm predicate is a pure function of (refNext[i], effective
+// postponement), so the memo is keyed by value — a REF issue moves
+// refNext[i], SetRefresh reallocates, and no explicit invalidation sites are
+// needed. A memoised entry may embed a now-clamp from compute time; since
+// the clock is monotone, max(entry, now) reproduces refArmCycle's answer
+// (the component's only use is as a ≥-now lower bound). This removes the
+// closed-form float math from every joint-horizon recompute, which on
+// high-MPKI profiles happens once per issue event.
+func (c *Controller) refArmComponent(i int, now int64, pending bool) int64 {
+	postpone := c.cfg.MaxPostponedRefresh > 0 && pending
+	if !c.ffRefArmOK[i] || c.ffRefArmKey[i] != c.refNext[i] || c.ffRefArmPend[i] != postpone {
+		c.ffRefArm[i] = c.refArmCycle(i, now, pending)
+		c.ffRefArmKey[i] = c.refNext[i]
+		c.ffRefArmPend[i] = postpone
+		c.ffRefArmOK[i] = true
+	}
+	return max(c.ffRefArm[i], now)
+}
+
+// schedComponent serves the schedule-horizon component as a pure memo read.
+// The memo's only producer is the real scheduler: a tickSchedule scan that
+// issues nothing publishes its candidate minimum (publishSched), and every
+// event that could move a candidate dirties the memo. When the memo is
+// invalid — an event just happened, or the drain regime oscillates — the
+// component degrades to "an action may be imminent" (now), which costs the
+// planner at most the real ticks until the next failed scan republishes.
+// When it is valid but reached, the tick at the memoised cycle performs the
+// action (or its failed scan republishes), so eager recomputation would buy
+// nothing. Either way the planner never walks the request queues: on the
+// high-MPKI profiles where a command issues every few device ticks, the old
+// recompute-on-dirty scheme rebuilt an O(queue) scan per issue event, which
+// made planning a net loss exactly where CLR-DRAM's evaluation lives.
+func (c *Controller) schedComponent(now int64) int64 {
+	if !c.ffSchedValid || c.ffSched <= now {
+		return now
+	}
+	return c.ffSched
 }
 
 // scheduleHorizon returns the first cycle at which tickSchedule could issue
@@ -218,88 +398,110 @@ func (c *Controller) candidateIssue(q []*Request, i int, req *Request) int64 {
 	}
 }
 
-// timeoutH serves the timeout component through its memo (see
-// NextEventCycle). A memoised value can sit below what a fresh scan at the
-// current clock would return — the scan's early-outs are clock-relative —
-// which is safe: horizons may only ever be underestimates, and a component
-// at or below now forces a real tick that fires the due timeout close and
-// drops the memo.
-func (c *Controller) timeoutH(now int64) int64 {
-	if !c.ffTimeoutValid {
-		c.ffTimeout = c.timeoutHorizon(now)
-		c.ffTimeoutValid = true
-	}
-	return c.ffTimeout
-}
-
-// timeoutHorizon returns the first cycle tickRowTimeout could close a row:
-// per open bank without a queued request for its row, the later of the idle
-// deadline and the PRE timing floor. Unlike tickRowTimeout's per-bank queue
-// scans, it exempts the open banks in a single pass over both queues — this
-// runs on every horizon recompute, where the O(banks × queue) form showed up
-// as the single hottest part of skip planning.
-func (c *Controller) timeoutHorizon(now int64) int64 {
-	openMask, ok := c.dev.OpenBankMask()
-	if !ok {
-		return c.timeoutHorizonSlow(now)
-	}
-	if openMask == 0 {
-		return ffNever
-	}
-	banks := c.dev.NumBanks()
-	if cap(c.ffIdle) < banks {
-		c.ffIdle = make([]int64, banks)
-		c.ffRow = make([]int, banks)
-	}
-	idle, rows := c.ffIdle[:banks], c.ffRow[:banks]
-	// openMask narrows from "open" to "open with no queued request" as the
-	// queue pass below strikes out exempted banks.
-	for m := openMask; m != 0; m &= m - 1 {
-		b := bits.TrailingZeros64(m)
-		idle[b], _ = c.dev.OpenRowIdleSince(b)
-		_, rows[b] = c.dev.BankState(b)
-	}
-	for _, r := range c.readQ {
-		b := r.decoded.Bank
-		if openMask&(1<<uint(b)) != 0 && rows[b] == r.decoded.Row {
-			openMask &^= 1 << uint(b)
+// timeoutComponent serves the timeout-row-close component from the per-bank
+// entry table: entry b memoises the cycle tickRowTimeout could close bank
+// b's row (ffNever when the bank is closed or a queued request exempts it).
+// Only dirtied entries are re-derived; entries at or below now are also
+// re-derived, because a memoised entry can be a tRFC-era underestimate (see
+// the file comment). The common case — clean table, aggregate ahead of the
+// clock — is two compares.
+func (c *Controller) timeoutComponent(now int64) int64 {
+	if c.ffBankTO == nil {
+		// Geometries beyond 64 banks: whole-scan memo, dropped on any
+		// bank event.
+		if !c.ffTimeoutValid {
+			c.ffTimeout = c.timeoutHorizonSlow()
+			c.ffTimeoutValid = true
 		}
+		return c.ffTimeout
 	}
-	for _, r := range c.writeQ {
-		b := r.decoded.Bank
-		if openMask&(1<<uint(b)) != 0 && rows[b] == r.decoded.Row {
-			openMask &^= 1 << uint(b)
-		}
+	if c.ffTOAggOK && c.ffTOAgg > now {
+		return c.ffTOAgg
 	}
+	dirty := c.ffTODirty
+	c.ffTODirty = 0
 	h := ffNever
-	for m := openMask; m != 0; m &= m - 1 {
-		b := bits.TrailingZeros64(m)
-		e := max(idle[b]+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
-		if e <= now {
-			return e
+	for b, e := range c.ffBankTO {
+		if dirty&(1<<uint(b)) != 0 || e <= now {
+			e = c.bankTimeout(b)
+			c.ffBankTO[b] = e
 		}
 		h = min(h, e)
 	}
+	c.ffTOAgg = h
+	c.ffTOAggOK = true
 	return h
 }
 
-// timeoutHorizonSlow is the bitmask-free form for geometries beyond 64 banks.
-func (c *Controller) timeoutHorizonSlow(now int64) int64 {
+// bankTimeout derives bank b's timeout-close entry from current state: the
+// later of the open row's idle deadline and the PRE timing floor, or ffNever
+// when the bank is closed or a queued request targets its open row (the
+// exemption expires only when that request issues — a dirtyBank event).
+func (c *Controller) bankTimeout(b int) int64 {
+	last, open := c.dev.OpenRowIdleSince(b)
+	if !open {
+		return ffNever
+	}
+	if c.openRowQueued[b] > 0 {
+		return ffNever
+	}
+	return max(last+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
+}
+
+// timeoutHorizonSlow is the table-free whole scan for geometries beyond 64
+// banks.
+func (c *Controller) timeoutHorizonSlow() int64 {
 	h := ffNever
 	banks := c.dev.NumBanks()
 	for b := 0; b < banks; b++ {
-		last, open := c.dev.OpenRowIdleSince(b)
-		if !open {
-			continue
-		}
-		_, row := c.dev.BankState(b)
-		if c.rowHasQueuedRequest(b, row) {
-			continue
-		}
-		e := max(last+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
-		h = min(h, e)
+		h = min(h, c.bankTimeout(b))
 	}
 	return h
+}
+
+// fullRescanHorizon recomputes the horizon from scratch, bypassing every
+// memo, and mutates nothing. It is the test oracle for the incremental path:
+// NextEventCycle must never exceed it, and must equal it whenever the
+// incremental answer is strictly ahead of the clock (see horizon tests).
+func (c *Controller) fullRescanHorizon(now int64) int64 {
+	h := ffNever
+	if c.completions.Len() > 0 {
+		h = c.completions.Peek().cycle
+		if h <= now {
+			return now
+		}
+	}
+	if c.refPending != -1 {
+		anyOpen := false
+		banks := c.dev.NumBanks()
+		for b := 0; b < banks; b++ {
+			if open, _ := c.dev.BankState(b); open {
+				anyOpen = true
+				break
+			}
+		}
+		if anyOpen {
+			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPREA}))
+		} else {
+			ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
+			h = min(h, c.dev.EarliestIssue(ref))
+		}
+		h = min(h, c.timeoutHorizonSlow())
+		return max(h, now)
+	}
+	pending := c.Pending() > 0
+	for i := range c.refNext {
+		h = min(h, c.refArmCycle(i, now, pending))
+	}
+	if h <= now {
+		return now
+	}
+	h = min(h, c.timeoutHorizonSlow())
+	if h <= now {
+		return now
+	}
+	h = min(h, c.scheduleHorizon(now))
+	return max(h, now)
 }
 
 // nextDraining applies one step of activeQueue's hysteresis under the
@@ -311,9 +513,30 @@ func (c *Controller) nextDraining(d bool) bool {
 	return len(c.writeQ) >= c.cfg.WriteHigh || (len(c.readQ) == 0 && len(c.writeQ) > 0)
 }
 
+// cappedHitsMemo serves cappedHits through its per-queue memo, dirtied with
+// the schedule component (any queue, streak, or bank-state change). SkipTicks
+// replays spans back-to-back with unchanged queues on memory-intensive
+// profiles; memoising removes its per-skip O(queue × conflict) scan.
+func (c *Controller) cappedHitsMemo(write bool) int64 {
+	i, q := 0, c.readQ
+	if write {
+		i, q = 1, c.writeQ
+	}
+	if !c.ffCapValid[i] {
+		c.ffCap[i] = c.cappedHits(q)
+		c.ffCapValid[i] = true
+	}
+	return c.ffCap[i]
+}
+
 // cappedHits counts the row hits in q that pass 1 skips with a CapTrips
 // increment: streak at the cap with an older conflicting request waiting.
+// The common case — no bank's streak at the cap — answers from the atCap
+// counter without touching the queue.
 func (c *Controller) cappedHits(q []*Request) int64 {
+	if c.atCap == 0 {
+		return 0
+	}
 	var n int64
 	for i, req := range q {
 		open, row := c.dev.BankState(req.decoded.Bank)
@@ -344,15 +567,28 @@ func (c *Controller) SkipTicks(n int64) {
 		t1 := c.nextDraining(c.draining)
 		t2 := c.nextDraining(t1)
 		if t1 == t2 {
+			// Fixpoint: settle the flag first so the capped-hit memo
+			// computed below survives the dirtySched of the flip.
+			if c.draining != t1 {
+				c.draining = t1
+				c.dirtySched()
+			}
 			if t1 {
 				trueCount = n
 			}
-			if trips := c.cappedHits(c.scanQueue(t1)); trips > 0 {
+			if trips := c.cappedHitsMemo(t1); trips > 0 {
 				c.st.CapTrips += uint64(trips) * uint64(n)
 			}
-			c.draining = t1
 		} else {
 			// Oscillation: t1 on the 1st, 3rd, ... skipped cycle.
+			d := t2
+			if n%2 == 1 {
+				d = t1
+			}
+			if c.draining != d {
+				c.draining = d
+				c.dirtySched()
+			}
 			if t1 {
 				trueCount = (n + 1) / 2
 			} else {
@@ -360,13 +596,10 @@ func (c *Controller) SkipTicks(n int64) {
 			}
 			// The read queue is empty here; the write queue is scanned only
 			// on draining cycles.
-			if trips := c.cappedHits(c.writeQ); trips > 0 && trueCount > 0 {
-				c.st.CapTrips += uint64(trips) * uint64(trueCount)
-			}
-			if n%2 == 1 {
-				c.draining = t1
-			} else {
-				c.draining = t2
+			if trueCount > 0 {
+				if trips := c.cappedHitsMemo(true); trips > 0 {
+					c.st.CapTrips += uint64(trips) * uint64(trueCount)
+				}
 			}
 		}
 	}

@@ -22,13 +22,19 @@ type RunOptions struct {
 	WarmupRecords      int    `json:"warmup_records,omitempty"`
 	ProfileRecords     int    `json:"profile_records,omitempty"`
 	Channels           int    `json:"channels,omitempty"`
-	// DisableFastForward turns off event-driven cycle skipping. Results are
-	// bit-identical either way (the repo's ffdiff gate), but it is still
-	// part of the job identity so its effect on wall-clock is attributable.
+	// FastForward selects the cycle-skipping policy: "adaptive" (the
+	// default), "on", or "off". Results are bit-identical across all three
+	// (the repo's ffdiff gate), but the mode is still part of the job
+	// identity so its effect on wall-clock is attributable.
+	FastForward string `json:"fast_forward,omitempty"`
+	// DisableFastForward is the older boolean spelling of FastForward:"off",
+	// kept for wire compatibility; Normalize folds it into FastForward.
 	DisableFastForward bool `json:"disable_fast_forward,omitempty"`
 }
 
-// Normalize fills zero fields with the simulator defaults.
+// Normalize fills zero fields with the simulator defaults and canonicalizes
+// the fast-forward mode (legacy boolean folded in, spelling canonicalized),
+// so two requests meaning the same run hash to the same job ID.
 func (o RunOptions) Normalize() RunOptions {
 	d := sim.DefaultOptions()
 	if o.Seed == 0 {
@@ -46,7 +52,25 @@ func (o RunOptions) Normalize() RunOptions {
 	if o.Channels == 0 {
 		o.Channels = 1
 	}
+	if o.DisableFastForward {
+		o.FastForward = sim.FFOff.String()
+		o.DisableFastForward = false
+	}
+	// Canonicalize recognized spellings ("always" → "on", "" → "adaptive");
+	// unknown ones pass through verbatim for Validate to reject.
+	if m, err := sim.ParseFFMode(o.FastForward); err == nil {
+		o.FastForward = m.String()
+	}
 	return o
+}
+
+// Validate rejects option values Normalize cannot canonicalize; Submit calls
+// it so malformed requests fail at admission, not at run time.
+func (o RunOptions) Validate() error {
+	if _, err := sim.ParseFFMode(o.FastForward); err != nil {
+		return fmt.Errorf("serve: options: %w", err)
+	}
+	return nil
 }
 
 // SimOptions maps the request options onto the sim.Options a job runs
@@ -55,13 +79,16 @@ func (o RunOptions) Normalize() RunOptions {
 // rebuild their direct-run reference through this same mapping.
 func (o RunOptions) SimOptions() sim.Options {
 	n := o.Normalize()
+	// The parse error is unreachable for admitted jobs (Submit validates);
+	// an unvalidated caller's unknown spelling falls back to the default.
+	mode, _ := sim.ParseFFMode(n.FastForward)
 	return sim.Options{
 		Seed:               n.Seed,
 		TargetInstructions: n.TargetInstructions,
 		WarmupRecords:      n.WarmupRecords,
 		ProfileRecords:     n.ProfileRecords,
 		Channels:           n.Channels,
-		DisableFastForward: n.DisableFastForward,
+		FastForward:        mode,
 		CollectStats:       true,
 	}
 }

@@ -206,6 +206,9 @@ func (m *Manager) Submit(client string, spec sim.Spec, opts RunOptions) (SubmitR
 	if client == "" {
 		client = "default"
 	}
+	if err := opts.Validate(); err != nil {
+		return SubmitResult{}, err
+	}
 	opts = opts.Normalize()
 	id, err := JobID(spec, opts)
 	if err != nil {

@@ -35,6 +35,10 @@ func runComparison(ctx context.Context, profiles []workload.Profile, clrFraction
 	if err != nil {
 		return nil, err
 	}
+	// Driver-scoped warmup cache (installed before the fan-out): the
+	// baseline and every alternative design rerun the same workloads, so one
+	// snapshot per profile covers all designs.
+	opts.ensureWarmup()
 	pool := opts.pool()
 	store := opts.shardStore(fmt.Sprintf("compare-frac%v", clrFraction))
 

@@ -13,6 +13,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"clrdram/internal/cache"
 	"clrdram/internal/cpu"
 	"clrdram/internal/dram"
@@ -86,19 +88,83 @@ type Options struct {
 	// strips them.
 	Timer *engine.Timer
 
-	// DisableFastForward forces the per-cycle reference loop in System.Run,
-	// turning off the next-event fast-forward path. The two loops are
-	// bit-identical by contract (enforced by the differential test suite),
-	// so this exists as an escape hatch (-fastforward=off in both CLIs) and
-	// for the differential tests and benches themselves. The zero value
-	// keeps fast-forward on.
+	// FastForward selects the next-event fast-forward policy: FFAdaptive
+	// (the zero value) plans skips with adaptive engagement, FFAlways plans
+	// on every eligible cycle, FFOff forces the per-cycle reference loop.
+	// All three are bit-identical by contract (enforced by the differential
+	// test suite) — the mode only moves wall-clock.
+	FastForward FFMode
+	// DisableFastForward is the older boolean toggle, kept for existing
+	// callers: when set it forces FFOff regardless of FastForward.
 	DisableFastForward bool
+	// Warmup, when non-nil, shares profiled rankings and warmed LLC state
+	// across the NewSystem calls of a sweep (checkpoint-and-fork warmup,
+	// DESIGN.md §13). Sweep drivers install one automatically unless
+	// DisableWarmupFork is set; single runs never need it. Forked runs are
+	// byte-identical to cold ones by contract.
+	Warmup *WarmupCache
+	// DisableWarmupFork keeps sweep drivers from installing a WarmupCache,
+	// so every configuration re-profiles and re-warms from scratch
+	// (-warmup-fork=false in the CLIs; also the cold reference for the
+	// fork-identity tests).
+	DisableWarmupFork bool
 
 	CPU    cpu.Config
 	LLC    cache.Config
 	Mem    mem.Config
 	Device dram.Config
 	IDD    power.IDD
+}
+
+// FFMode selects the fast-forward planning policy (Options.FastForward).
+type FFMode int
+
+const (
+	// FFAdaptive plans next-event skips but tracks a skip-length EMA and
+	// disengages planning while it sits below breakeven, re-probing
+	// periodically — the default, and the right choice when the workload
+	// mix is unknown (fastforward.go).
+	FFAdaptive FFMode = iota
+	// FFAlways plans a skip on every eligible cycle.
+	FFAlways
+	// FFOff forces the per-cycle reference loop.
+	FFOff
+)
+
+// String returns the CLI spelling of the mode.
+func (m FFMode) String() string {
+	switch m {
+	case FFAdaptive:
+		return "adaptive"
+	case FFAlways:
+		return "on"
+	case FFOff:
+		return "off"
+	}
+	return fmt.Sprintf("FFMode(%d)", int(m))
+}
+
+// ParseFFMode parses the CLI spellings of FFMode: "adaptive", "on" (or
+// "always", "true", "1"), "off" (or "false", "0").
+func ParseFFMode(s string) (FFMode, error) {
+	switch s {
+	case "adaptive", "":
+		return FFAdaptive, nil
+	case "on", "always", "true", "1":
+		return FFAlways, nil
+	case "off", "false", "0":
+		return FFOff, nil
+	}
+	return FFAdaptive, fmt.Errorf("sim: unknown fast-forward mode %q (want adaptive|on|off)", s)
+}
+
+// ffMode resolves the run's effective fast-forward mode: the older
+// DisableFastForward toggle wins as an off-switch.
+func (o *Options) ffMode() FFMode {
+	if o.DisableFastForward {
+		return FFOff
+	}
+	return o.FastForward
 }
 
 // DefaultOptions returns the paper's Table 2 system scaled to a fast default

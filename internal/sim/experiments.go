@@ -88,6 +88,9 @@ func runFig12(ctx context.Context, profiles []workload.Profile, opts Options) (F
 
 // fig12Row runs one workload's baseline plus the full HP-fraction sweep.
 func fig12Row(ctx context.Context, p workload.Profile, opts Options) (SingleRow, error) {
+	// One warmup snapshot serves the baseline and every HP fraction of the
+	// row (DESIGN.md §13); opts is this row's copy, so the cache dies with it.
+	opts.ensureWarmup()
 	n := len(HPFractions)
 	base, err := runSingle(ctx, p, core.Baseline(), opts)
 	if err != nil {
@@ -239,6 +242,11 @@ func runFig13(ctx context.Context, groups map[string][]workload.Mix, opts Option
 		func(_ int, t mixTask) string { return t.Group + "-" + t.Mix.Name },
 		func(ctx context.Context, _ int, t mixTask) (MixRow, error) {
 			m := t.Mix
+			// Shadow the captured opts: shards run concurrently, and the
+			// warmup snapshot is per-mix (baseline + every HP fraction of
+			// this mix share it; other mixes have different profile sets).
+			opts := opts
+			opts.ensureWarmup()
 			base, err := runMix(ctx, m, core.Baseline(), opts)
 			if err != nil {
 				return MixRow{}, err
@@ -319,6 +327,11 @@ func RunFig15(profiles []workload.Profile, fractions []float64, opts Options) ([
 }
 
 func runFig15(ctx context.Context, profiles []workload.Profile, fractions []float64, opts Options) ([]Fig15Row, error) {
+	// Driver-scoped warmup cache (installed before the fan-out, so no shard
+	// races on the field): every baseline shard and every (tREFW, fraction)
+	// cell runs the same single-profile workload sets, so one snapshot per
+	// profile covers the whole figure.
+	opts.ensureWarmup()
 	pool := opts.pool()
 	// Unlike the per-workload and per-mix drivers, a Figure 15 shard
 	// aggregates over the whole profile set, so the checkpoint namespace

@@ -38,12 +38,32 @@ const (
 	ffMinSpan = 4
 	// ffCtxStride is how many loop iterations pass between ctx.Err checks.
 	ffCtxStride = 4096
-	// ffMaxBackoff caps the exponential planning backoff after failed skip
-	// attempts (pure performance heuristic: attempting fewer skips is always
-	// allowed, so results are unaffected). 64 cycles keeps the planning tax
-	// under ~2% of a memory-bound stretch while costing at most one missed
-	// span start per burst of completions.
-	ffMaxBackoff = 64
+
+	// Adaptive-engagement governor (FFAdaptive). The EMA tracks cycles
+	// gained per planning attempt that reached the horizon stage; while it
+	// sits below breakeven the planner disengages for a stretch of real
+	// steps, then probes again. Pure performance heuristics — skipping less
+	// is always allowed, so results are bit-identical in every mode.
+	//
+	// ffEmaInvWindow smooths over ~64 attempts: long enough to ride out a
+	// burst of failures inside a skippable phase, short enough to disengage
+	// within a few hundred cycles of entering a dense one.
+	ffEmaInvWindow = 1.0 / 64
+	// ffBreakevenSpan is the EMA threshold in skipped cycles per attempt.
+	// With the lazy schedule memo a failed horizon-stage attempt is a few
+	// memo reads — well under one step's worth of work — and a successful
+	// span of k saves k−1 steps, so engagement pays for itself just above
+	// one skipped cycle per attempt. Event-paced retry already absorbs
+	// dense stretches; the governor only needs to catch workloads where
+	// planning never finds spans at all.
+	ffBreakevenSpan = 1.5
+	// ffDisengageSteps is how many real steps run planner-less after the
+	// EMA drops below breakeven, before the next probe window.
+	ffDisengageSteps = 1024
+	// ffProbeAttempts is the probation window after re-engaging: the EMA
+	// must climb back over breakeven within this many horizon-stage
+	// attempts or the planner disengages again.
+	ffProbeAttempts = 16
 )
 
 // runLoop drives the system until done() (or the cycle safety bound, or ctx
@@ -51,9 +71,10 @@ const (
 // when non-nil, are per-core retired-instruction bounds that bulk skips must
 // not cross (RunFor's stop condition is evaluated between real steps only).
 func (s *System) runLoop(ctx context.Context, done func() bool, ceilings []uint64) (timedOut bool, err error) {
-	ff := !s.opts.DisableFastForward
+	mode := s.opts.ffMode()
+	ff := mode != FFOff
+	adaptive := mode == FFAdaptive
 	ctxCheck := 0
-	backoff, fails := 0, 0
 	for !done() {
 		if s.cpuCycle >= s.opts.MaxCPUCycles {
 			return true, nil
@@ -66,25 +87,50 @@ func (s *System) runLoop(ctx context.Context, done func() bool, ceilings []uint6
 		}
 		ctxCheck--
 		if ff {
-			if backoff > 0 {
-				backoff--
-			} else if k, devTicks, accAfter, costly := s.planSkip(ceilings); k >= ffMinSpan {
-				s.applySkip(k, devTicks, accAfter)
-				fails = 0
-				continue
-			} else if costly {
-				// Busy stretch: the plan got as far as the (expensive) horizon
-				// recomputation and still failed. Planning every cycle here
-				// would cost more than ticking — back off exponentially, reset
-				// on the next skip. Cheap pre-horizon bails (a core mid-record,
-				// a hit completion due) carry no backoff: they resolve within a
-				// cycle or two and retrying is nearly free.
-				if fails < 5 {
-					fails++
+			if s.ffSleep > 0 {
+				s.ffSleep--
+			} else if !s.horizonsSettled() {
+				// A controller is between a state change and the next
+				// scheduler scan: its horizon degrades to "imminent", so an
+				// attempt cannot find a span. Real-step until the scan
+				// settles it (a few cycles at most) — these steps are free
+				// of planning cost and don't feed the governor.
+			} else {
+				k, devTicks, accAfter, costly, paced := s.planSkip(ceilings)
+				if k >= ffMinSpan {
+					s.applySkip(k, devTicks, accAfter)
+					if adaptive {
+						s.ffGovern(float64(k))
+					}
+					if paced {
+						// The span stopped because its next CPU cycle carries
+						// the horizon device tick: the immediate re-attempt is
+						// a guaranteed failure, so step through the boundary
+						// planner-less instead of paying (and, in adaptive
+						// mode, governing on) a no-op planning attempt.
+						s.ffSleep = 1
+					}
+					continue
 				}
-				backoff = 1 << (fails - 1)
-				if backoff > ffMaxBackoff {
-					backoff = ffMaxBackoff
+				if costly {
+					if adaptive {
+						// Only horizon-stage failures feed the governor: cheap
+						// pre-horizon bails (a core mid-record, a hit completion
+						// due) cost next to nothing and resolve within a cycle.
+						s.ffGovern(0)
+					}
+					// Event-paced retry: the attempt got as far as a real span
+					// bound, so some constraint (horizon, due hit, burst cap)
+					// bites within k+1 cycles — no span ≥ ffMinSpan can begin
+					// before that boundary, and re-planning each intervening
+					// cycle would recompute the same shrinking answer. Step
+					// planner-less THROUGH the boundary cycle (k+1 steps): an
+					// attempt at or just before it is a guaranteed re-failure,
+					// so resume planning only once the bounding event has run.
+					// (ffGovern may have set a longer disengage sleep already.)
+					if p := k + 1; p > s.ffSleep {
+						s.ffSleep = p
+					}
 				}
 			}
 		}
@@ -93,15 +139,54 @@ func (s *System) runLoop(ctx context.Context, done func() bool, ceilings []uint6
 	return false, nil
 }
 
+// horizonsSettled reports whether every controller's schedule-horizon memo
+// is settled (mem.Controller.HorizonSettled): the gate that keeps the
+// planner from burning attempts in the few-cycle windows between an issue
+// or enqueue event and the failed scheduler scan that republishes the memo.
+func (s *System) horizonsSettled() bool {
+	for _, ctrl := range s.ctrls {
+		if !ctrl.HorizonSettled() {
+			return false
+		}
+	}
+	return true
+}
+
+// ffGovern folds one horizon-stage planning outcome (the applied span, or 0
+// for a failure) into the engagement EMA and disengages the planner when the
+// average gain sits below breakeven. The skip-length EMA is nominally per
+// core, but the planner coalesces all cores and channels into one joint span
+// (planSkip), so every core's skip length is the joint k and one EMA carries
+// them all.
+func (s *System) ffGovern(k float64) {
+	s.ffEma += (k - s.ffEma) * ffEmaInvWindow
+	s.ffAttempts++
+	if s.ffProbe > 0 {
+		// Probation after a re-engage: give the EMA the whole window before
+		// judging it, so one dense cycle doesn't re-disengage instantly.
+		s.ffProbe--
+		if s.ffProbe > 0 {
+			return
+		}
+	}
+	if s.ffEma < ffBreakevenSpan {
+		s.ffSleep = ffDisengageSteps
+		s.ffProbe = ffProbeAttempts
+		s.ffDisengages++
+	}
+}
+
 // planSkip determines the longest skippable span from the current state. It
 // returns the CPU-cycle count k (0 if the next cycle must run for real), the
 // number of device ticks the span carries, the accumulator value after it,
-// and whether the plan got as far as the controller-horizon recomputation
-// (the expensive stage — runLoop's backoff keys off it). Core states are left
-// in s.ffStates for applySkip.
-func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float64, costly bool) {
+// whether the plan got as far as the controller-horizon recomputation (the
+// expensive stage — runLoop's backoff keys off it), and whether the span was
+// bounded by the controller horizon (paced — the cycle after the span
+// carries the horizon device tick). Core states are left in s.ffStates for
+// applySkip.
+func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float64, costly, paced bool) {
 	if len(s.pendingWB) > 0 {
-		return 0, 0, 0, false
+		return 0, 0, 0, false, false
 	}
 	kCap := s.opts.MaxCPUCycles - s.cpuCycle
 	if kCap > ffMaxSpan {
@@ -110,17 +195,16 @@ func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float6
 	if s.hits.Len() > 0 {
 		d := s.hits.peek().due - s.cpuCycle
 		if d <= 0 {
-			return 0, 0, 0, false // a hit completion fires on the next step
+			return 0, 0, 0, false, false // a hit completion fires on the next step
 		}
 		if d < kCap {
 			kCap = d
 		}
 	}
-	s.ffStates = s.ffStates[:0]
 	for i, c := range s.cores {
 		st := c.FFState()
 		if !st.Skippable {
-			return 0, 0, 0, false
+			return 0, 0, 0, false, false
 		}
 		if st.Burst || st.Fill {
 			if st.MaxCycles < kCap {
@@ -141,30 +225,62 @@ func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float6
 			// Valid only while the memory system rejects the pending record.
 			// Both Load and Store gate on the read queue (a store miss
 			// fetches the line), and queue lengths are frozen for the span.
-			global := s.bases[i] + st.Addr
-			ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
-			if s.ctrls[ch].CanEnqueue(false) {
-				return 0, 0, 0, false // the port would accept: the access must run
+			// The retried address is frozen too, and address→channel mapping
+			// is pure, so the translation is cached across attempts.
+			if !s.ffPortOK[i] || s.ffPortAddr[i] != st.Addr {
+				global := s.bases[i] + st.Addr
+				ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
+				s.ffPortAddr[i], s.ffPortCh[i], s.ffPortOK[i] = st.Addr, ch, true
+			}
+			if s.ctrls[s.ffPortCh[i]].CanEnqueue(false) {
+				return 0, 0, 0, false, false // the port would accept: the access must run
 			}
 		}
-		s.ffStates = append(s.ffStates, st)
+		s.ffStates[i] = st
 	}
 	if kCap < ffMinSpan {
-		return 0, 0, 0, false
+		return 0, 0, 0, false, false
 	}
 
-	horizon := int64(1) << 62
-	for _, ctrl := range s.ctrls {
-		if h := ctrl.NextEventCycle(); h < horizon {
-			horizon = h
-		}
-	}
+	horizon := s.jointHorizon()
 	maxDev := horizon - s.ctrls[0].Clock()
 	if maxDev < 0 {
 		maxDev = 0
 	}
 	k, devTicks, accAfter = s.walkAccumulator(kCap, maxDev)
-	return k, devTicks, accAfter, true
+	return k, devTicks, accAfter, true, k < kCap
+}
+
+// jointHorizon returns the minimum NextEventCycle over all channels, cached
+// across planning attempts: the cached joint span stays valid while every
+// controller's HorizonGen is unchanged and the shared device clock sits
+// strictly below it (each controller's horizon is then ≥ the joint minimum,
+// so no memoised component has been reached). One generation check per
+// channel replaces the per-channel horizon assembly on the common
+// consecutive-attempt path.
+func (s *System) jointHorizon() int64 {
+	now := s.ctrls[0].Clock() // all channels share one device clock
+	if s.ffJointOK && s.ffJointH > now {
+		ok := true
+		for i, ctrl := range s.ctrls {
+			if ctrl.HorizonGen() != s.ffGens[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.ffJointH
+		}
+	}
+	h := int64(1) << 62
+	for i, ctrl := range s.ctrls {
+		if hh := ctrl.NextEventCycle(); hh < h {
+			h = hh
+		}
+		s.ffGens[i] = ctrl.HorizonGen()
+	}
+	s.ffJointH, s.ffJointOK = h, true
+	return h
 }
 
 // walkAccumulator finds the largest k ≤ kMax whose span carries at most

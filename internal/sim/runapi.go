@@ -131,6 +131,22 @@ func WithFastForward(on bool) Option {
 	return func(o *Options) { o.DisableFastForward = !on }
 }
 
+// WithFastForwardMode selects the fast-forward policy directly (FFAdaptive,
+// FFAlways, FFOff); it also clears the older DisableFastForward toggle so the
+// mode it sets is the one that runs.
+func WithFastForwardMode(m FFMode) Option {
+	return func(o *Options) {
+		o.FastForward = m
+		o.DisableFastForward = false
+	}
+}
+
+// WithWarmupFork toggles checkpoint-and-fork warmup in the sweep drivers (on
+// by default; forked sweeps are byte-identical to cold ones).
+func WithWarmupFork(on bool) Option {
+	return func(o *Options) { o.DisableWarmupFork = !on }
+}
+
 // WithPool runs the spec's experiment fan-out on a caller-owned pool.
 // Passing the same engine.NewSharedPool to several concurrent Runs bounds
 // their combined fan-out by one shared budget (see Options.SharedPool).

@@ -61,6 +61,25 @@ func (s *SliceReader) Next() (Record, error) {
 // Reset rewinds the reader to the beginning.
 func (s *SliceReader) Reset() { s.pos = 0 }
 
+// CloneableReader is a Reader whose position can be snapshotted: CloneReader
+// returns an independent reader that continues the identical record stream
+// from the current position, leaving the original untouched. The
+// checkpoint-and-fork warmup path (internal/sim) requires it of every
+// per-core reader it snapshots; readers that cannot offer it (e.g. ones
+// draining an io.Reader) simply don't implement it and fall back to cold
+// warmup.
+type CloneableReader interface {
+	Reader
+	CloneReader() Reader
+}
+
+// CloneReader implements CloneableReader: the copy replays from the current
+// position and shares the (immutable) record slice.
+func (s *SliceReader) CloneReader() Reader {
+	c := *s
+	return &c
+}
+
 // Write serialises records to w, one per line: "<bubble> <hex-addr> <R|W>".
 func Write(w io.Writer, records []Record) error {
 	bw := bufio.NewWriter(w)

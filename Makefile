@@ -1,14 +1,15 @@
 # Tiered checks. tier1 is the seed gate (ROADMAP.md); race adds the race
 # detector over the full suite — required on every PR now that the
 # experiment engine fans simulations out across goroutines. check adds a
-# gofmt cleanliness gate, a docs gate, and four explicit end-to-end gates
+# gofmt cleanliness gate, a docs gate, and five explicit end-to-end gates
 # on top of both tiers: ffdiff (fast-forward vs ticked simulation), ckdiff
 # (compiled + batched circuit kernels vs interpreted loop), serve-smoke
-# (clrserve daemon report vs direct sim.Run, byte-identical), and
-# ffbench-smoke (adaptive fast-forward must not lose to planner-off on the
-# memory-intensive profile).
+# (clrserve daemon report vs direct sim.Run, byte-identical), compdiff
+# (registry-composed default memory system vs the seed, bit-identical),
+# and ffbench-smoke (adaptive fast-forward must not lose to planner-off on
+# the memory-intensive profile).
 
-.PHONY: all tier1 race check fmt docs-check ffdiff ckdiff serve-smoke ffbench-smoke bench bench-ff bench-circuit report
+.PHONY: all tier1 race check fmt docs-check ffdiff ckdiff serve-smoke compdiff ffbench-smoke bench bench-ff bench-circuit report
 
 all: check
 
@@ -72,6 +73,17 @@ ckdiff:
 serve-smoke:
 	go run ./cmd/clrserve -smoke
 
+# compdiff is the composable-API identity gate (DESIGN.md §14): the
+# registry-driven construction path must leave the paper's default
+# composition bit-identical — a zero configuration and one with every
+# default registry name (standard, scheduler, row policy, mapper) spelled
+# out explicitly produce the same Result, canonical RunReport, and Fig. 12
+# CSV bytes at any worker count — and every scheduler × row-policy pair
+# must stay fast-forward/ticked bit-identical on the four-core mix. Also
+# part of `go test ./...`.
+compdiff:
+	go test ./internal/sim -run 'TestDefaultComposition|TestCompositionIdentityMatrix' -count=1
+
 # ffbench-smoke is the fast-forward performance gate: a short interleaved
 # off-vs-adaptive measurement on the memory-intensive profile asserting the
 # adaptive governor keeps planner overhead from dragging throughput below
@@ -79,7 +91,7 @@ serve-smoke:
 ffbench-smoke:
 	go run ./cmd/ffbench -smoke -instructions 300000
 
-check: tier1 race fmt docs-check ffdiff ckdiff serve-smoke ffbench-smoke
+check: tier1 race fmt docs-check ffdiff ckdiff serve-smoke compdiff ffbench-smoke
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .

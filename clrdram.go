@@ -28,6 +28,7 @@ package clrdram
 import (
 	"clrdram/internal/core"
 	"clrdram/internal/dram"
+	"clrdram/internal/mem"
 	"clrdram/internal/sim"
 	"clrdram/internal/spice"
 	"clrdram/internal/workload"
@@ -146,19 +147,56 @@ var (
 	WithFastForward = sim.WithFastForward
 )
 
-// RunSingle simulates one workload on a single core.
-//
-// Deprecated: use Run with SingleSpec.
-func RunSingle(p Profile, cfg Config, opts Options) (Result, error) {
-	return sim.RunSingle(p, cfg, opts)
-}
+// Memory-system composition (DESIGN.md §14): the controller's four roles —
+// DRAM standard, command scheduler, row-buffer policy and address mapper —
+// are independently swappable behind small interfaces, resolved by registry
+// name through MemConfig / Options.Standard (or the -scheduler, -rowpolicy,
+// -mapper and -standard CLI flags).
+type (
+	// MemConfig configures the memory controller, including the Scheduler,
+	// RowPolicy and Mapper registry names (empty strings mean the paper's
+	// defaults). Set it on Options.Mem.
+	MemConfig = mem.Config
+	// Scheduler picks the next DRAM command for a request queue
+	// (frfcfs-cap, frfcfs, fcfs).
+	Scheduler = mem.Scheduler
+	// RowPolicy decides when to proactively close open rows
+	// (timeout, open, closed, hitcount).
+	RowPolicy = mem.RowPolicy
+	// AddressMapper translates raw physical addresses to DRAM coordinates.
+	AddressMapper = mem.AddressMapper
+	// Standard is a DRAM standard: device geometry plus its timing package
+	// (ddr4-2400, lpddr4-3200). Select one via Options.Standard.
+	Standard = dram.Standard
+)
 
-// RunMix simulates a four-core multiprogrammed mix.
-//
-// Deprecated: use Run with MixSpec.
-func RunMix(m Mix, cfg Config, opts Options) (Result, error) {
-	return sim.RunMix(m, cfg, opts)
-}
+// Default registry names for the four composable roles.
+const (
+	DefaultScheduler = mem.DefaultScheduler
+	DefaultRowPolicy = mem.DefaultRowPolicy
+	DefaultMapper    = mem.DefaultMapper
+	DefaultStandard  = dram.DefaultStandard
+)
+
+// Registry lookups (name -> instance) and catalogues for the composable
+// memory-system roles. The Register* functions extend the registries with
+// custom implementations; the *Names functions list what is registered.
+var (
+	NewScheduler     = mem.NewScheduler
+	NewRowPolicy     = mem.NewRowPolicy
+	NewAddressMapper = mem.NewAddressMapper
+	NewStandard      = dram.NewStandard
+
+	RegisterScheduler = mem.RegisterScheduler
+	RegisterRowPolicy = mem.RegisterRowPolicy
+	RegisterMapper    = mem.RegisterMapper
+	RegisterStandard  = dram.RegisterStandard
+
+	SchedulerNames = mem.SchedulerNames
+	RowPolicyNames = mem.RowPolicyNames
+	MapperNames    = mem.MapperNames
+	StandardNames  = dram.StandardNames
+)
 
 // CircuitParams parameterises the circuit-level subarray model.
 type CircuitParams = spice.Params

@@ -1,6 +1,7 @@
 package clrdram
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -63,17 +64,37 @@ func TestFacadeEndToEnd(t *testing.T) {
 	opts.WarmupRecords = 5_000
 	opts.ProfileRecords = 2_000
 	p, _ := WorkloadByName("random_00")
-	base, err := RunSingle(p, Baseline(), opts)
-	if err != nil {
-		t.Fatal(err)
+	run := func(cfg Config) Result {
+		out, err := Run(context.Background(), SingleSpec(p, cfg), WithOptions(opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *out.Single
 	}
-	clr, err := RunSingle(p, CLR(1.0), opts)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := run(Baseline())
+	clr := run(CLR(1.0))
 	if clr.PerCore[0].IPC() <= base.PerCore[0].IPC() {
 		t.Fatalf("CLR (%.3f IPC) should beat baseline (%.3f IPC) on random_00",
 			clr.PerCore[0].IPC(), base.PerCore[0].IPC())
+	}
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if len(SchedulerNames()) < 3 || len(RowPolicyNames()) < 4 ||
+		len(MapperNames()) < 2 || len(StandardNames()) < 2 {
+		t.Fatalf("registry catalogues too small: sched=%v policy=%v mapper=%v std=%v",
+			SchedulerNames(), RowPolicyNames(), MapperNames(), StandardNames())
+	}
+	s, err := NewScheduler(DefaultScheduler, MemConfig{})
+	if err != nil || s.Name() != DefaultScheduler {
+		t.Fatalf("NewScheduler(%q) = %v, %v", DefaultScheduler, s, err)
+	}
+	std, err := NewStandard(DefaultStandard)
+	if err != nil || !std.CLRCapable() {
+		t.Fatalf("default standard must be CLR-capable: %v, %v", std, err)
+	}
+	if _, err := NewScheduler("no-such-scheduler", MemConfig{}); err == nil {
+		t.Fatal("unknown scheduler name must fail")
 	}
 }
 

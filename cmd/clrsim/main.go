@@ -27,6 +27,8 @@ import (
 
 	"clrdram/internal/cli"
 	"clrdram/internal/core"
+	"clrdram/internal/dram"
+	"clrdram/internal/mem"
 	"clrdram/internal/sim"
 	"clrdram/internal/trace"
 	"clrdram/internal/workload"
@@ -51,6 +53,10 @@ func main() {
 		statsOut = flag.String("stats-out", "", "write the observability report as JSON to this file ('-' for stdout; implies stats collection)")
 		ffMode   = flag.String("fastforward", "on", "event-driven cycle skipping, on or off (results are bit-identical either way)")
 		ffAdapt  = flag.Bool("ff-adaptive", true, "with -fastforward on: adaptively disengage skip planning when skips are too short to pay off")
+		schedF   = flag.String("scheduler", "", "memory scheduler: "+strings.Join(mem.SchedulerNames(), "|")+" (default "+mem.DefaultScheduler+")")
+		policyF  = flag.String("rowpolicy", "", "row-buffer policy: "+strings.Join(mem.RowPolicyNames(), "|")+" (default "+mem.DefaultRowPolicy+")")
+		mapperF  = flag.String("mapper", "", "address mapper for raw-address enqueue: "+strings.Join(mem.MapperNames(), "|")+" (default "+mem.DefaultMapper+")")
+		stdF     = flag.String("standard", "", "DRAM standard: "+strings.Join(dram.StandardNames(), "|")+" (default "+dram.DefaultStandard+"; fixed-timing standards require -baseline)")
 	)
 	flag.Parse()
 
@@ -78,6 +84,13 @@ func main() {
 	opts.Seed = *seed
 	opts.Channels = *channels
 	opts.CollectStats = *statsF || *statsOut != ""
+	opts.Mem.Scheduler = *schedF
+	opts.Mem.RowPolicy = *policyF
+	opts.Mem.Mapper = *mapperF
+	if *stdF != "" {
+		opts.Standard = *stdF
+		opts.Device = dram.Config{} // let the standard prescribe the device
+	}
 	switch *ffMode {
 	case "on", "true", "1":
 		opts.FastForward = sim.FFAdaptive

@@ -35,9 +35,13 @@ import (
 	"runtime/pprof"
 	"sort"
 
+	"strings"
+
 	"clrdram/internal/cli"
 	"clrdram/internal/core"
+	"clrdram/internal/dram"
 	"clrdram/internal/engine"
+	"clrdram/internal/mem"
 	"clrdram/internal/sim"
 	"clrdram/internal/spice"
 	"clrdram/internal/workload"
@@ -73,6 +77,10 @@ func main() {
 		ckBatch   = flag.Int("ckbatch", spice.DefaultBatchWidth, "circuit Monte Carlo batch width (1 = unbatched; results are bit-identical at every width)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file")
+		schedF    = flag.String("scheduler", "", "memory scheduler: "+strings.Join(mem.SchedulerNames(), "|")+" (default "+mem.DefaultScheduler+")")
+		policyF   = flag.String("rowpolicy", "", "row-buffer policy: "+strings.Join(mem.RowPolicyNames(), "|")+" (default "+mem.DefaultRowPolicy+")")
+		mapperF   = flag.String("mapper", "", "address mapper for raw-address enqueue: "+strings.Join(mem.MapperNames(), "|")+" (default "+mem.DefaultMapper+")")
+		stdF      = flag.String("standard", "", "DRAM standard: "+strings.Join(dram.StandardNames(), "|")+" (default "+dram.DefaultStandard+"; fixed-timing standards cannot run CLR sweeps)")
 	)
 	flag.Parse()
 	if *all {
@@ -89,6 +97,13 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *workers
 	opts.Progress = progressLine
+	opts.Mem.Scheduler = *schedF
+	opts.Mem.RowPolicy = *policyF
+	opts.Mem.Mapper = *mapperF
+	if *stdF != "" {
+		opts.Standard = *stdF
+		opts.Device = dram.Config{} // let the standard prescribe the device
+	}
 	switch *ffMode {
 	case "on", "true", "1":
 		opts.FastForward = sim.FFAdaptive

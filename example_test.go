@@ -1,7 +1,10 @@
 package clrdram_test
 
 import (
+	"context"
 	"fmt"
+	"log"
+	"strings"
 
 	"clrdram"
 )
@@ -78,4 +81,56 @@ func ExampleNewRowModeMap() {
 	// Output:
 	// high-performance rows: 2 (0.012% of device)
 	// controller tracking cost: 16384 bits
+}
+
+// ExampleSchedulerNames catalogues every selectable implementation of the
+// four composable memory-system roles (DESIGN.md §14).
+func ExampleSchedulerNames() {
+	fmt.Println("schedulers: " + strings.Join(clrdram.SchedulerNames(), " "))
+	fmt.Println("row policies: " + strings.Join(clrdram.RowPolicyNames(), " "))
+	fmt.Println("mappers: " + strings.Join(clrdram.MapperNames(), " "))
+	fmt.Println("standards: " + strings.Join(clrdram.StandardNames(), " "))
+	// Output:
+	// schedulers: fcfs frfcfs frfcfs-cap
+	// row policies: closed hitcount open timeout
+	// mappers: row:bg:bank:col row:col:bg:bank
+	// standards: ddr4-2400 lpddr4-3200
+}
+
+// ExampleNewScheduler shows registry lookup: the empty string resolves to
+// the paper's default, and unknown names fail with a typed error.
+func ExampleNewScheduler() {
+	def, err := clrdram.NewScheduler("", clrdram.MemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fcfs, err := clrdram.NewScheduler("fcfs", clrdram.MemConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = clrdram.NewScheduler("no-such-scheduler", clrdram.MemConfig{})
+	fmt.Println(def.Name(), fcfs.Name(), err != nil)
+	// Output: frfcfs-cap fcfs true
+}
+
+// Example_composition composes a memory system declaratively: registry
+// names go into Options, and the constructed controller honours them. (No
+// Output comment — a full simulation is too slow for the example runner, so
+// this example is compile-checked only.)
+func Example_composition() {
+	p, _ := clrdram.WorkloadByName("429.mcf-like")
+
+	opts := clrdram.DefaultOptions()
+	opts.TargetInstructions = 100_000
+	opts.Standard = "ddr4-2400"     // device geometry + timing package
+	opts.Mem.Scheduler = "frfcfs"   // uncapped FR-FCFS instead of FR-FCFS-Cap
+	opts.Mem.RowPolicy = "hitcount" // close rows after MaxRowHits hits
+	opts.Mem.MaxRowHits = 8
+
+	out, err := clrdram.Run(context.Background(), clrdram.SingleSpec(p, clrdram.Baseline()),
+		clrdram.WithOptions(opts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("IPC %.3f\n", out.Single.PerCore[0].IPC())
 }

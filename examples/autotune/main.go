@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 		}
 
 		// Step 1 — profile on the baseline.
-		base, err := clrdram.RunSingle(w, clrdram.Baseline(), opts)
+		base, err := runSingle(w, clrdram.Baseline(), opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,11 +47,11 @@ func main() {
 		cfg.REFWms = adv.RecommendREFW(demand, nil)
 
 		// Step 3 — run the recommendation and the naive extremes.
-		rec, err := clrdram.RunSingle(w, cfg, opts)
+		rec, err := runSingle(w, cfg, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err := clrdram.RunSingle(w, clrdram.CLR(1.0), opts)
+		full, err := runSingle(w, clrdram.CLR(1.0), opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,4 +67,13 @@ func main() {
 	}
 	fmt.Println("\nThe advisor matches all-HP performance where it matters while")
 	fmt.Println("keeping capacity when the workload cannot use low-latency rows.")
+}
+
+// runSingle drives one single-core simulation through the unified Run API.
+func runSingle(p clrdram.Profile, cfg clrdram.Config, opts clrdram.Options) (clrdram.Result, error) {
+	out, err := clrdram.Run(context.Background(), clrdram.SingleSpec(p, cfg), clrdram.WithOptions(opts))
+	if err != nil {
+		return clrdram.Result{}, err
+	}
+	return *out.Single, nil
 }

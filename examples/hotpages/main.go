@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,14 +23,14 @@ func main() {
 		if !ok {
 			log.Fatalf("workload %s not found", name)
 		}
-		base, err := clrdram.RunSingle(p, clrdram.Baseline(), opts)
+		base, err := runSingle(p, clrdram.Baseline(), opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\n%s\n", name)
 		fmt.Printf("%8s %12s %12s %12s\n", "HP rows", "coverage", "speedup", "energy")
 		for _, frac := range []float64{0.25, 0.50, 0.75, 1.00} {
-			res, err := clrdram.RunSingle(p, clrdram.CLR(frac), opts)
+			res, err := runSingle(p, clrdram.CLR(frac), opts)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -42,4 +43,13 @@ func main() {
 	}
 	fmt.Println("\nUniform access → speedup grows with every added HP row;")
 	fmt.Println("skewed access → the first 25% of rows capture most of the benefit.")
+}
+
+// runSingle drives one single-core simulation through the unified Run API.
+func runSingle(p clrdram.Profile, cfg clrdram.Config, opts clrdram.Options) (clrdram.Result, error) {
+	out, err := clrdram.Run(context.Background(), clrdram.SingleSpec(p, cfg), clrdram.WithOptions(opts))
+	if err != nil {
+		return clrdram.Result{}, err
+	}
+	return *out.Single, nil
 }

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,11 @@ func main() {
 	opts := clrdram.DefaultOptions()
 	opts.TargetInstructions = 200_000 // scale to taste; paper uses 200 M
 
-	base, err := clrdram.RunSingle(mcf, clrdram.Baseline(), opts)
+	base, err := runSingle(mcf, clrdram.Baseline(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fast, err := clrdram.RunSingle(mcf, clrdram.CLR(1.0), opts)
+	fast, err := runSingle(mcf, clrdram.CLR(1.0), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,4 +42,13 @@ func main() {
 	fmt.Printf("capacity factor at 100%% HP rows: %.0f%%\n", clrdram.CapacityFactor(1.0)*100)
 	_, _, area := clrdram.DefaultAreaModel().Overhead()
 	fmt.Printf("chip area overhead: %.1f%%\n", area*100)
+}
+
+// runSingle drives one single-core simulation through the unified Run API.
+func runSingle(p clrdram.Profile, cfg clrdram.Config, opts clrdram.Options) (clrdram.Result, error) {
+	out, err := clrdram.Run(context.Background(), clrdram.SingleSpec(p, cfg), clrdram.WithOptions(opts))
+	if err != nil {
+		return clrdram.Result{}, err
+	}
+	return *out.Single, nil
 }

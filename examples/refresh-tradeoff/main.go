@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	opts := clrdram.DefaultOptions()
 	opts.TargetInstructions = 150_000
 
-	base, err := clrdram.RunSingle(p, clrdram.Baseline(), opts)
+	base, err := runSingle(p, clrdram.Baseline(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	for _, refw := range []float64{64, 114, 124, 184, 194} {
 		cfg := clrdram.CLR(1.0)
 		cfg.REFWms = refw
-		res, err := clrdram.RunSingle(p, cfg, opts)
+		res, err := runSingle(p, cfg, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,4 +55,13 @@ func main() {
 	}
 	fmt.Println("\nLonger windows trade a little performance for large refresh-energy savings")
 	fmt.Println("(paper: CLR-194 cuts refresh energy 87.1% and still outperforms DDR4 by 17.8%).")
+}
+
+// runSingle drives one single-core simulation through the unified Run API.
+func runSingle(p clrdram.Profile, cfg clrdram.Config, opts clrdram.Options) (clrdram.Result, error) {
+	out, err := clrdram.Run(context.Background(), clrdram.SingleSpec(p, cfg), clrdram.WithOptions(opts))
+	if err != nil {
+		return clrdram.Result{}, err
+	}
+	return *out.Single, nil
 }

@@ -98,7 +98,14 @@ func (c Config) Build(devCfg dram.Config) (dram.Config, []mem.RefreshStream, err
 	}
 	clock := devCfg.ClockNS
 	if !c.Enabled {
-		devCfg.Timings[dram.ModeDefault] = tab.Baseline.ToCycles(clock)
+		// Fill the baseline timing set only when the geometry did not bring
+		// its own: a fixed-timing standard (dram.Standard with CLRCapable()
+		// false, e.g. lpddr4-3200) prescribes Timings[ModeDefault] itself,
+		// while the paper's ddr4-2400 device leaves it zero for this Table 1
+		// baseline column.
+		if devCfg.Timings[dram.ModeDefault] == (dram.TimingSet{}) {
+			devCfg.Timings[dram.ModeDefault] = tab.Baseline.ToCycles(clock)
+		}
 		devCfg.ModeOf = dram.FixedMode(dram.ModeDefault)
 		streams := mem.StandardRefresh(clock, dram.ModeDefault, 0, 64)
 		return devCfg, streams, nil

@@ -2,7 +2,6 @@ package mem
 
 import (
 	"fmt"
-	"math"
 
 	"clrdram/internal/dram"
 	"clrdram/internal/metrics"
@@ -26,15 +25,28 @@ type Request struct {
 }
 
 // Config parameterises the controller. Zero values select the paper's
-// Table 2 configuration where a default exists.
+// Table 2 configuration where a default exists; in particular the empty
+// role names resolve to the default composition (DefaultScheduler,
+// DefaultRowPolicy, the mapper named by Scheme). NewController validates
+// the resolved configuration and rejects bad values with typed errors
+// (*ConfigError wrapping the sentinel categories in errors.go).
 type Config struct {
 	ReadQueueCap  int     // default 64
 	WriteQueueCap int     // default 64
 	RowHitCap     int     // FR-FCFS-Cap consecutive row-hit cap, default 4
-	RowTimeoutNS  float64 // open-row timeout, default 120 ns
+	RowTimeoutNS  float64 // open-row idle timeout (timeout/hitcount policies), default 120 ns
+	MaxRowHits    int     // hitcount policy's forced-close hit limit, default 16
 	WriteHigh     int     // write drain start watermark, default 3/4 of cap
 	WriteLow      int     // write drain stop watermark, default 1/4 of cap
 	Scheme        Scheme
+
+	// Registry names for the controller's swappable roles (registry.go).
+	// Empty strings select the defaults; unknown names are rejected at
+	// NewController time. Mapper defaults to the name of Scheme, so
+	// Scheme-based configurations keep selecting their interleaving.
+	Scheduler string
+	RowPolicy string
+	Mapper    string
 
 	// MaxPostponedRefresh enables DDR4 refresh postponement: a due REF may
 	// be deferred while requests are pending, up to this many intervals
@@ -91,32 +103,38 @@ type Stats struct {
 	ReadsServed   uint64
 	WritesServed  uint64
 	Refreshes     uint64
-	TimeoutCloses uint64          // PREs issued by the timeout row policy
+	TimeoutCloses uint64          // PREs issued by the row policy (timeout/closed/hitcount closes)
 	CapTrips      uint64          // ready row hits skipped by the FR-FCFS row-hit cap
 	ReadLatency   stats.Histogram // enqueue→data, device cycles
 }
 
 // Controller owns a single-rank DRAM device and schedules requests onto it.
+// Its composition — which Scheduler picks commands, which RowPolicy closes
+// rows, which AddressMapper decodes raw addresses — is resolved from Config
+// through the registries at construction (see registry.go and
+// Composition()).
 type Controller struct {
 	dev *Device
 	cfg Config
+
+	sched  Scheduler
+	policy RowPolicy
 
 	readQ  []*Request
 	writeQ []*Request
 
 	draining bool
 
-	hitStreak []int // consecutive row hits served per bank (FR-FCFS-Cap)
+	hitStreak []int // consecutive row hits served per bank since its last ACT
 	atCap     int   // banks whose streak has reached cfg.RowHitCap
 
 	// openRowQueued[b] counts queued requests (both queues) that target bank
 	// b's currently open row; meaningful only while the bank is open. It
-	// makes the row-timeout exemption check O(1) on the hot paths (bankTimeout
-	// re-derivations, tickRowTimeout scans) instead of a queue walk, at the
-	// cost of O(1) bookkeeping per enqueue/issue and one recount per ACT.
+	// makes the row-close exemption check O(1) on the hot paths (per-bank
+	// close-entry re-derivations, TickClose scans) instead of a queue walk,
+	// at the cost of O(1) bookkeeping per enqueue/issue and one recount per
+	// ACT.
 	openRowQueued []int
-
-	timeoutCycles int64
 
 	// refresh bookkeeping
 	refNext    []float64 // next due cycle per stream
@@ -124,7 +142,7 @@ type Controller struct {
 
 	completions completionHeap
 
-	mapper *Mapper
+	mapper AddressMapper
 
 	st Stats
 
@@ -142,10 +160,10 @@ type Controller struct {
 	// immediately instead of leaving it to the next failed scan. Off by
 	// default so planner-less runs never pay the extra scans.
 	ffEager    bool
-	ffCap      [2]int64 // cappedHits memo per queue: 0 = read, 1 = write
+	ffCap      [2]int64 // DeadCycleTrips memo per queue: 0 = read, 1 = write
 	ffCapValid [2]bool
-	// Per-bank timeout close entries (geometries ≤ 64 banks; see
-	// timeoutComponent). ffTODirty marks entries to re-derive, ffTOAgg
+	// Per-bank row-close entries (geometries ≤ 64 banks; see
+	// rowCloseComponent). ffTODirty marks entries to re-derive, ffTOAgg
 	// memoises their minimum, ffTOAll is the all-banks mask.
 	ffBankTO  []int64
 	ffTODirty uint64
@@ -180,7 +198,10 @@ type Controller struct {
 // thin alias kept for readability of Controller's fields.
 type Device = dram.Device
 
-// NewController builds a controller over dev.
+// NewController builds a controller over dev: it fills Config defaults,
+// validates the result (typed *ConfigError rejections instead of silent
+// clamping), and resolves the scheduler, row policy and address mapper
+// through the registries.
 func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 	if cfg.ReadQueueCap == 0 {
 		cfg.ReadQueueCap = 64
@@ -191,8 +212,19 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 	if cfg.RowHitCap == 0 {
 		cfg.RowHitCap = 4
 	}
+	if cfg.RowHitCap < 1 {
+		return nil, &ConfigError{Field: "RowHitCap", Err: ErrRowHitCapInvalid,
+			Detail: fmt.Sprintf("got %d", cfg.RowHitCap)}
+	}
 	if cfg.RowTimeoutNS == 0 {
 		cfg.RowTimeoutNS = 120
+	}
+	if cfg.MaxRowHits == 0 {
+		cfg.MaxRowHits = 16
+	}
+	if cfg.MaxRowHits < 1 {
+		return nil, &ConfigError{Field: "MaxRowHits", Err: ErrRowHitCapInvalid,
+			Detail: fmt.Sprintf("got %d", cfg.MaxRowHits)}
 	}
 	if cfg.WriteHigh == 0 {
 		cfg.WriteHigh = cfg.WriteQueueCap * 3 / 4
@@ -201,14 +233,24 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 		cfg.WriteLow = cfg.WriteQueueCap / 4
 	}
 	if cfg.WriteLow >= cfg.WriteHigh {
-		return nil, fmt.Errorf("mem: write watermarks inverted (low %d ≥ high %d)", cfg.WriteLow, cfg.WriteHigh)
+		return nil, &ConfigError{Field: "WriteLow", Err: ErrWatermarksInverted,
+			Detail: fmt.Sprintf("low %d ≥ high %d", cfg.WriteLow, cfg.WriteHigh)}
+	}
+	sched, err := NewScheduler(cfg.Scheduler, cfg)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := NewRowPolicy(cfg.RowPolicy, dev.Config(), cfg)
+	if err != nil {
+		return nil, err
 	}
 	c := &Controller{
 		dev:           dev,
 		cfg:           cfg,
+		sched:         sched,
+		policy:        policy,
 		hitStreak:     make([]int, dev.Config().Banks()),
 		openRowQueued: make([]int, dev.Config().Banks()),
-		timeoutCycles: int64(math.Ceil(cfg.RowTimeoutNS / dev.Config().ClockNS)),
 		refNext:       make([]float64, len(cfg.Refresh)),
 		refPending:    -1,
 		st:            Stats{ReadLatency: *stats.NewHistogram(512, 4)},
@@ -226,7 +268,7 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 		c.ffTODirty = c.ffTOAll
 		c.ffActRow = make([]int, banks)
 	}
-	m, err := NewMapper(dev.Config(), cfg.Scheme)
+	m, err := NewAddressMapper(cfg.Mapper, dev.Config(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +292,15 @@ func NewController(dev *dram.Device, cfg Config) (*Controller, error) {
 }
 
 // Mapper returns the controller's address mapper.
-func (c *Controller) Mapper() *Mapper { return c.mapper }
+func (c *Controller) Mapper() AddressMapper { return c.mapper }
+
+// Composition returns the canonical description of the controller's
+// resolved composition — the byte-for-byte string the default-composition
+// golden test pins.
+func (c *Controller) Composition() string {
+	return fmt.Sprintf("scheduler=%s rowpolicy=%s mapper=%s",
+		c.sched.Name(), c.policy.Name(), c.mapper.Name())
+}
 
 // Device returns the controller's DRAM device. Callers must treat it as
 // read-only; it exists so the observability layer can report device-level
@@ -400,7 +450,7 @@ func (c *Controller) enqueueEager(req *Request, oldSched int64, oldValid, preT1,
 	}
 	if req.Write == t1 {
 		q := c.scanQueue(t1)
-		oldSched = min(oldSched, c.candidateIssue(q, len(q)-1, req))
+		oldSched = min(oldSched, c.sched.CandidateIssue(c, q, len(q)-1, req))
 	}
 	c.ffSched = oldSched
 	c.ffSchedValid = true
@@ -427,7 +477,7 @@ func (c *Controller) Tick() {
 		issued = c.tickSchedule(now)
 	}
 	if !issued {
-		c.tickRowTimeout(now)
+		c.tickRowClose(now)
 	}
 	if c.ffEager && !c.ffSchedValid && c.refPending == -1 {
 		// Eager mode: an issue this cycle (schedule, timeout close, or the
@@ -584,8 +634,8 @@ func (c *Controller) activeQueue() *[]*Request {
 	return &c.readQ
 }
 
-// tickSchedule implements FR-FCFS-Cap over the active queue. Returns true
-// if a command was issued.
+// tickSchedule runs the composed Scheduler over the active queue. Returns
+// true if a command was issued.
 //
 // A scan that issues nothing has, as a byproduct, computed the earliest
 // issue cycle of every candidate it rejected — exactly the schedule-horizon
@@ -601,85 +651,20 @@ func (c *Controller) tickSchedule(now int64) bool {
 	if c.ffSchedValid && c.ffSched > now {
 		// Memoised failed scan: every candidate's floor lies in the future
 		// (events that could move one dirty the memo), so this cycle's scan
-		// would reject them all again. Replay its only side effect — pass 1
-		// counts a CapTrip per ready-but-withheld row hit per cycle — from
-		// the capped-hit memo and skip the queue walk. This is what makes
-		// dead device ticks O(1) on memory-bound phases in every mode; the
-		// fast-forward planner then skips even that via SkipTicks.
-		if trips := c.cappedHitsMemo(c.draining); trips > 0 {
+		// would reject them all again. Replay its only side effect — the
+		// scheduler's per-cycle dead-scan stat (FR-FCFS-Cap counts a CapTrip
+		// per ready-but-withheld row hit per cycle) — from the memo and skip
+		// the queue walk. This is what makes dead device ticks O(1) on
+		// memory-bound phases in every mode; the fast-forward planner then
+		// skips even that via SkipTicks.
+		if trips := c.deadTripsMemo(c.draining); trips > 0 {
 			c.st.CapTrips += uint64(trips)
 		}
 		return false
 	}
-
-	// Pass 1 — row hits, oldest first, unless the bank's consecutive-hit
-	// streak has reached the cap while an older request waits on a
-	// different row of the same bank (the "Cap" in FR-FCFS-Cap, which
-	// bounds inter-thread row-hit starvation). Failed candidates here are
-	// re-examined (and re-accumulated) by pass 2, so only that pass feeds
-	// the horizon byproduct.
-	for i, req := range *q {
-		open, row := c.dev.BankState(req.decoded.Bank)
-		if !open || row != req.decoded.Row {
-			continue
-		}
-		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
-			c.st.CapTrips++
-			continue
-		}
-		if issued, _ := c.issueColumn(req, now); issued {
-			c.removeAt(q, i)
-			return true
-		}
-	}
-
-	// Pass 2 — oldest first, issue whatever command the request needs next.
-	minNext := int64(ffNever)
-	for i, req := range *q {
-		open, row := c.dev.BankState(req.decoded.Bank)
-		switch {
-		case open && row == req.decoded.Row:
-			// Respect the cap here too: if the bank's hit streak is
-			// exhausted and an older conflicting request is waiting (e.g.
-			// for tRAS before its PRE), serving this hit would starve it.
-			// A withheld hit stays withheld until another command issues,
-			// so it contributes nothing to the horizon.
-			if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(*q, i) {
-				continue
-			}
-			issued, e := c.issueColumn(req, now)
-			if issued {
-				c.removeAt(q, i)
-				return true
-			}
-			minNext = min(minNext, e)
-		case open: // conflict: need PRE
-			// Do not close a row that still has queued row hits that have
-			// not exhausted the cap — pass 1 will serve them first.
-			cmd := dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank}
-			if e := c.dev.EarliestIssue(cmd); e <= now {
-				c.classify(req, &c.st.RowBuffer.Conflicts)
-				c.dev.Issue(cmd)
-				c.resetStreak(req.decoded.Bank)
-				c.openRowQueued[req.decoded.Bank] = 0
-				c.dirtyBank(req.decoded.Bank)
-				return true
-			} else {
-				minNext = min(minNext, e)
-			}
-		default: // closed: need ACT
-			cmd := dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row}
-			if e := c.dev.EarliestIssue(cmd); e <= now {
-				c.classify(req, &c.st.RowBuffer.Misses)
-				c.dev.Issue(cmd)
-				c.resetStreak(req.decoded.Bank)
-				c.recountOpenRow(req.decoded.Bank, req.decoded.Row)
-				c.dirtyBank(req.decoded.Bank)
-				return true
-			} else {
-				minNext = min(minNext, e)
-			}
-		}
+	issued, minNext := c.sched.Schedule(c, q, now)
+	if issued {
+		return true
 	}
 	c.publishSched(minNext)
 	return false
@@ -761,37 +746,22 @@ func (c *Controller) olderConflictExists(q []*Request, i int) bool {
 	return false
 }
 
-// tickRowTimeout closes rows that have been idle past the timeout and have
-// no queued requests (the paper's timeout-based row policy, Table 2 note 6).
+// tickRowClose runs the composed RowPolicy (the paper's default is the
+// 120 ns timeout policy, Table 2 note 6).
 //
-// The per-bank scan is gated by the timeout horizon component: entry b of
-// the memo table is exactly the first cycle this function could close bank
-// b's row, so while the aggregate minimum lies in the future no close is
-// possible and the tick costs two compares instead of an O(banks) device
-// walk. The gate is exact, not merely safe — timeoutComponent re-derives
-// dirty or reached entries before answering.
-func (c *Controller) tickRowTimeout(now int64) {
-	if c.timeoutComponent(now) > now {
+// The policy's per-bank scan is gated by the row-close horizon component:
+// entry b of the memo table is exactly the first cycle the policy could
+// close bank b's row (RowPolicy.BankCloseCycle), so while the aggregate
+// minimum lies in the future no close is possible and the tick costs two
+// compares instead of an O(banks) device walk. The gate is exact, not
+// merely safe — rowCloseComponent re-derives dirty or reached entries
+// before answering. Policies that never close (open-page) answer ffNever
+// and pay nothing here.
+func (c *Controller) tickRowClose(now int64) {
+	if c.rowCloseComponent(now) > now {
 		return
 	}
-	banks := c.dev.NumBanks()
-	for b := 0; b < banks; b++ {
-		last, open := c.dev.OpenRowIdleSince(b)
-		if !open || now-last < c.timeoutCycles {
-			continue
-		}
-		if c.openRowQueued[b] > 0 {
-			continue
-		}
-		cmd := dram.Command{Kind: dram.KindPRE, Bank: b}
-		if c.dev.CanIssue(cmd) {
-			c.dev.Issue(cmd)
-			c.resetStreak(b)
-			c.st.TimeoutCloses++
-			c.dirtyBank(b)
-			return // one command per cycle
-		}
-	}
+	c.policy.TickClose(c, now)
 }
 
 // rowHasQueuedRequest reports whether any queued request targets (bank,row).

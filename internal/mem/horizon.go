@@ -78,7 +78,7 @@ func (c *Controller) NextEventCycle() int64 {
 			ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
 			h = min(h, c.dev.EarliestIssue(ref))
 		}
-		h = min(h, c.timeoutComponent(now))
+		h = min(h, c.rowCloseComponent(now))
 		return max(h, now)
 	}
 	// Arming a refresh stream changes refPending — an action even when no
@@ -90,9 +90,9 @@ func (c *Controller) NextEventCycle() int64 {
 	if h <= now {
 		return now
 	}
-	// tickRowTimeout runs on every cycle without an issued command — also
+	// tickRowClose runs on every cycle without an issued command — also
 	// while a refresh is armed but not yet issuable.
-	h = min(h, c.timeoutComponent(now))
+	h = min(h, c.rowCloseComponent(now))
 	if h <= now {
 		return now
 	}
@@ -127,6 +127,15 @@ func (c *Controller) HorizonSettled() bool {
 // bit-identical either way (the memo only feeds skip planning).
 func (c *Controller) SetEagerHorizon(on bool) { c.ffEager = on }
 
+// eagerScanner is the optional Scheduler extension publishEager uses: a
+// scheduler-specific republish scan cheaper than the reference fixpoint
+// walk (frfcfsCap dedups candidates per bank). The result must equal the
+// scheduler's fixpoint scheduleHorizon answer — or undershoot it, horizons
+// being underestimates-only.
+type eagerScanner interface {
+	EagerQueueHorizon(c *Controller, q []*Request) int64
+}
+
 // publishEager installs a from-scratch schedule-horizon recompute as the
 // memo, from any point where the drain flag has settled to a fixpoint: the
 // future scan queue is then the same every cycle, so candidate floors are
@@ -137,71 +146,22 @@ func (c *Controller) SetEagerHorizon(on bool) { c.ffEager = on }
 // followed this cycle's scheduler scan — an anchoring the controller cannot
 // see — and guessing wrong by one cycle would overestimate the horizon and
 // skip a live issue. Leaving the memo invalid merely degrades the planner
-// to "imminent" through the (short, actively-issuing) drain tail. The
-// fixpoint fast path dedups candidates per bank (eagerQueueHorizon); >64-
-// bank geometries fall back to the reference scan's fixpoint branch.
+// to "imminent" through the (short, actively-issuing) drain tail. A
+// scheduler implementing eagerScanner supplies the fixpoint fast path
+// (frfcfsCap dedups candidates per bank); others — and >64-bank geometries,
+// whose dedup scratch is absent — fall back to the reference scan's
+// fixpoint branch.
 func (c *Controller) publishEager(now int64) {
 	t1 := c.nextDraining(c.draining)
 	if c.nextDraining(t1) != t1 {
 		return
 	}
-	if c.ffBankTO == nil {
-		c.ffSched = c.scheduleHorizon(now)
+	if es, ok := c.sched.(eagerScanner); ok && c.ffBankTO != nil {
+		c.ffSched = es.EagerQueueHorizon(c, c.scanQueue(t1))
 	} else {
-		c.ffSched = c.eagerQueueHorizon(c.scanQueue(t1))
+		c.ffSched = c.scheduleHorizon(now)
 	}
 	c.ffSchedValid = true
-}
-
-// eagerQueueHorizon is the per-bank-deduplicated equivalent of
-// scheduleHorizon's fixpoint path: the minimum candidate floor over q. All
-// row hits on a bank share one floor (same open row, same command kind per
-// queue), all PREs share one, and ACT floors are keyed by (bank, row) —
-// cmd.Row picks the CLR mode whose tFAW applies — so the scan runs at most
-// a couple of EarliestIssue calls per touched bank instead of one per
-// request. Cap-withholding matches candidateIssue exactly: only the oldest
-// hit per bank needs the check, because conflicts accumulate in queue order
-// (an older conflict for the first hit is older than every later hit, and
-// later hits share the first one's floor anyway).
-func (c *Controller) eagerQueueHorizon(q []*Request) int64 {
-	h := int64(ffNever)
-	var seenHit, seenPre, seenAct, conflict uint64
-	for _, req := range q {
-		b := req.decoded.Bank
-		bit := uint64(1) << uint(b)
-		open, row := c.dev.BankState(b)
-		switch {
-		case open && row == req.decoded.Row:
-			if seenHit&bit != 0 {
-				continue
-			}
-			seenHit |= bit
-			if c.hitStreak[b] >= c.cfg.RowHitCap && conflict&bit != 0 {
-				continue // withheld until another issue dirties the memo
-			}
-			kind := dram.KindRD
-			if req.Write {
-				kind = dram.KindWR
-			}
-			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: kind, Bank: b, Row: row, Column: req.decoded.Column}))
-		case open:
-			conflict |= bit
-			if seenPre&bit != 0 {
-				continue
-			}
-			seenPre |= bit
-			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
-		default:
-			conflict |= bit
-			if seenAct&bit != 0 && c.ffActRow[b] == req.decoded.Row {
-				continue
-			}
-			seenAct |= bit
-			c.ffActRow[b] = req.decoded.Row
-			h = min(h, c.dev.EarliestIssue(dram.Command{Kind: dram.KindACT, Bank: b, Row: req.decoded.Row}))
-		}
-	}
-	return h
 }
 
 // HorizonGen returns a generation counter that advances whenever controller
@@ -348,7 +308,7 @@ func (c *Controller) scheduleHorizon(now int64) int64 {
 			q = c.writeQ
 		}
 		for i, req := range q {
-			h = min(h, c.candidateIssue(q, i, req))
+			h = min(h, c.sched.CandidateIssue(c, q, i, req))
 			if h <= now {
 				return h // the caller clamps to now; no later candidate matters
 			}
@@ -360,7 +320,7 @@ func (c *Controller) scheduleHorizon(now int64) int64 {
 	// true — t1 at even offsets from now, t2 at odd — so a candidate whose
 	// floor expires on a read-scan cycle issues one cycle later.
 	for i, req := range c.writeQ {
-		e := max(c.candidateIssue(c.writeQ, i, req), now)
+		e := max(c.sched.CandidateIssue(c, c.writeQ, i, req), now)
 		if e >= ffNever {
 			continue
 		}
@@ -376,41 +336,19 @@ func (c *Controller) scheduleHorizon(now int64) int64 {
 	return h
 }
 
-// candidateIssue returns the earliest cycle the scheduler could issue a
-// command for q[i] with all state frozen, or ffNever for a capped row hit
-// (the scheduler withholds it in both passes until something else changes).
-func (c *Controller) candidateIssue(q []*Request, i int, req *Request) int64 {
-	open, row := c.dev.BankState(req.decoded.Bank)
-	switch {
-	case open && row == req.decoded.Row:
-		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(q, i) {
-			return ffNever
-		}
-		kind := dram.KindRD
-		if req.Write {
-			kind = dram.KindWR
-		}
-		return c.dev.EarliestIssue(dram.Command{Kind: kind, Bank: req.decoded.Bank, Row: req.decoded.Row, Column: req.decoded.Column})
-	case open:
-		return c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: req.decoded.Bank})
-	default:
-		return c.dev.EarliestIssue(dram.Command{Kind: dram.KindACT, Bank: req.decoded.Bank, Row: req.decoded.Row})
-	}
-}
-
-// timeoutComponent serves the timeout-row-close component from the per-bank
-// entry table: entry b memoises the cycle tickRowTimeout could close bank
-// b's row (ffNever when the bank is closed or a queued request exempts it).
-// Only dirtied entries are re-derived; entries at or below now are also
-// re-derived, because a memoised entry can be a tRFC-era underestimate (see
-// the file comment). The common case — clean table, aggregate ahead of the
-// clock — is two compares.
-func (c *Controller) timeoutComponent(now int64) int64 {
+// rowCloseComponent serves the policy-initiated row-close component from
+// the per-bank entry table: entry b memoises the cycle tickRowClose could
+// close bank b's row (RowPolicy.BankCloseCycle — ffNever when the policy
+// never would). Only dirtied entries are re-derived; entries at or below
+// now are also re-derived, because a memoised entry can be a tRFC-era
+// underestimate (see the file comment). The common case — clean table,
+// aggregate ahead of the clock — is two compares.
+func (c *Controller) rowCloseComponent(now int64) int64 {
 	if c.ffBankTO == nil {
 		// Geometries beyond 64 banks: whole-scan memo, dropped on any
 		// bank event.
 		if !c.ffTimeoutValid {
-			c.ffTimeout = c.timeoutHorizonSlow()
+			c.ffTimeout = c.rowCloseHorizonSlow()
 			c.ffTimeoutValid = true
 		}
 		return c.ffTimeout
@@ -423,7 +361,7 @@ func (c *Controller) timeoutComponent(now int64) int64 {
 	h := ffNever
 	for b, e := range c.ffBankTO {
 		if dirty&(1<<uint(b)) != 0 || e <= now {
-			e = c.bankTimeout(b)
+			e = c.policy.BankCloseCycle(c, b)
 			c.ffBankTO[b] = e
 		}
 		h = min(h, e)
@@ -433,28 +371,13 @@ func (c *Controller) timeoutComponent(now int64) int64 {
 	return h
 }
 
-// bankTimeout derives bank b's timeout-close entry from current state: the
-// later of the open row's idle deadline and the PRE timing floor, or ffNever
-// when the bank is closed or a queued request targets its open row (the
-// exemption expires only when that request issues — a dirtyBank event).
-func (c *Controller) bankTimeout(b int) int64 {
-	last, open := c.dev.OpenRowIdleSince(b)
-	if !open {
-		return ffNever
-	}
-	if c.openRowQueued[b] > 0 {
-		return ffNever
-	}
-	return max(last+c.timeoutCycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
-}
-
-// timeoutHorizonSlow is the table-free whole scan for geometries beyond 64
+// rowCloseHorizonSlow is the table-free whole scan for geometries beyond 64
 // banks.
-func (c *Controller) timeoutHorizonSlow() int64 {
+func (c *Controller) rowCloseHorizonSlow() int64 {
 	h := ffNever
 	banks := c.dev.NumBanks()
 	for b := 0; b < banks; b++ {
-		h = min(h, c.bankTimeout(b))
+		h = min(h, c.policy.BankCloseCycle(c, b))
 	}
 	return h
 }
@@ -486,7 +409,7 @@ func (c *Controller) fullRescanHorizon(now int64) int64 {
 			ref := dram.Command{Kind: dram.KindREF, Mode: c.cfg.Refresh[c.refPending].Mode}
 			h = min(h, c.dev.EarliestIssue(ref))
 		}
-		h = min(h, c.timeoutHorizonSlow())
+		h = min(h, c.rowCloseHorizonSlow())
 		return max(h, now)
 	}
 	pending := c.Pending() > 0
@@ -496,7 +419,7 @@ func (c *Controller) fullRescanHorizon(now int64) int64 {
 	if h <= now {
 		return now
 	}
-	h = min(h, c.timeoutHorizonSlow())
+	h = min(h, c.rowCloseHorizonSlow())
 	if h <= now {
 		return now
 	}
@@ -513,41 +436,21 @@ func (c *Controller) nextDraining(d bool) bool {
 	return len(c.writeQ) >= c.cfg.WriteHigh || (len(c.readQ) == 0 && len(c.writeQ) > 0)
 }
 
-// cappedHitsMemo serves cappedHits through its per-queue memo, dirtied with
-// the schedule component (any queue, streak, or bank-state change). SkipTicks
-// replays spans back-to-back with unchanged queues on memory-intensive
-// profiles; memoising removes its per-skip O(queue × conflict) scan.
-func (c *Controller) cappedHitsMemo(write bool) int64 {
+// deadTripsMemo serves the scheduler's DeadCycleTrips through its per-queue
+// memo, dirtied with the schedule component (any queue, streak, or
+// bank-state change). SkipTicks replays spans back-to-back with unchanged
+// queues on memory-intensive profiles; memoising removes its per-skip
+// O(queue × conflict) scan.
+func (c *Controller) deadTripsMemo(write bool) int64 {
 	i, q := 0, c.readQ
 	if write {
 		i, q = 1, c.writeQ
 	}
 	if !c.ffCapValid[i] {
-		c.ffCap[i] = c.cappedHits(q)
+		c.ffCap[i] = c.sched.DeadCycleTrips(c, q)
 		c.ffCapValid[i] = true
 	}
 	return c.ffCap[i]
-}
-
-// cappedHits counts the row hits in q that pass 1 skips with a CapTrips
-// increment: streak at the cap with an older conflicting request waiting.
-// The common case — no bank's streak at the cap — answers from the atCap
-// counter without touching the queue.
-func (c *Controller) cappedHits(q []*Request) int64 {
-	if c.atCap == 0 {
-		return 0
-	}
-	var n int64
-	for i, req := range q {
-		open, row := c.dev.BankState(req.decoded.Bank)
-		if !open || row != req.decoded.Row {
-			continue
-		}
-		if c.hitStreak[req.decoded.Bank] >= c.cfg.RowHitCap && c.olderConflictExists(q, i) {
-			n++
-		}
-	}
-	return n
 }
 
 // SkipTicks advances the controller and device n cycles at once. The caller
@@ -576,7 +479,7 @@ func (c *Controller) SkipTicks(n int64) {
 			if t1 {
 				trueCount = n
 			}
-			if trips := c.cappedHitsMemo(t1); trips > 0 {
+			if trips := c.deadTripsMemo(t1); trips > 0 {
 				c.st.CapTrips += uint64(trips) * uint64(n)
 			}
 		} else {
@@ -597,7 +500,7 @@ func (c *Controller) SkipTicks(n int64) {
 			// The read queue is empty here; the write queue is scanned only
 			// on draining cycles.
 			if trueCount > 0 {
-				if trips := c.cappedHitsMemo(true); trips > 0 {
+				if trips := c.deadTripsMemo(true); trips > 0 {
 					c.st.CapTrips += uint64(trips) * uint64(trueCount)
 				}
 			}

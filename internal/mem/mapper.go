@@ -51,6 +51,27 @@ type Address struct {
 	Column int
 }
 
+// An AddressMapper translates physical byte addresses into DRAM coordinates
+// on the controller's raw-address path (Enqueue). It governs exactly what
+// Scheme governed before it: library users and unit traffic that submit
+// physical addresses. The system simulator decodes through its own
+// profiling-guided page mapping (internal/core.PageMapper) and calls
+// EnqueueDecoded, bypassing this mapper by design.
+//
+// Decode must wrap out-of-capacity addresses rather than fail, and Encode
+// must invert Decode for in-capacity addresses. RowsPerPage and
+// PagesPerRowSet report the CLR-DRAM reconfiguration granularity the
+// interleaving implies (§5.1).
+type AddressMapper interface {
+	// Name returns the registry name, e.g. "row:bg:bank:col".
+	Name() string
+	Decode(addr uint64) Address
+	Encode(da Address) uint64
+	Capacity() uint64
+	RowsPerPage() int
+	PagesPerRowSet() int
+}
+
 // Mapper translates physical byte addresses into DRAM coordinates for a
 // single-channel, single-rank system.
 type Mapper struct {
@@ -85,6 +106,9 @@ func NewMapper(cfg dram.Config, scheme Scheme) (*Mapper, error) {
 		rows:     cfg.Rows,
 	}, nil
 }
+
+// Name returns the canonical scheme name (the mapper registry key).
+func (m *Mapper) Name() string { return m.scheme.String() }
 
 // lineBits is log2 of the 64-byte cache line size.
 const lineBits = 6

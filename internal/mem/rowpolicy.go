@@ -1,0 +1,186 @@
+package mem
+
+import (
+	"math"
+
+	"clrdram/internal/dram"
+)
+
+// A RowPolicy decides when the controller closes an open row on its own
+// initiative (as opposed to the conflict-driven PREs the scheduler issues).
+// It runs only on cycles where neither refresh nor scheduler issued a
+// command, and may close at most one row per cycle.
+//
+// BankCloseCycle is the policy's horizon hook: the per-bank row-close
+// component (horizon.go's rowCloseComponent) is assembled from it, so a
+// policy swap automatically carries exact fast-forward support. The
+// contract: with all controller and device state frozen except the clock,
+// BankCloseCycle(b) must be exactly the first cycle at which TickClose
+// would close bank b's row — never later (a late answer would skip the
+// close), and an early answer only costs real ticks because the component
+// re-derives entries at or below the clock.
+type RowPolicy interface {
+	// Name returns the registry name, e.g. "timeout".
+	Name() string
+
+	// TickClose may close (PRE) at most one open row; it runs on cycles
+	// where no other command issued. Implementations issue through
+	// Controller.closeRow, which does the shared bookkeeping.
+	TickClose(c *Controller, now int64)
+
+	// BankCloseCycle returns the first cycle at which TickClose would close
+	// bank b's open row under frozen state, or ffNever when it never would
+	// (bank closed, request queued for the open row, policy keeps rows
+	// open, ...).
+	BankCloseCycle(c *Controller, b int) int64
+}
+
+// timeoutPolicy closes a row once it has sat idle past the configured
+// timeout with no queued request targeting it — the paper's row policy
+// (Table 2 note 6, 120 ns default).
+type timeoutPolicy struct {
+	cycles int64 // RowTimeoutNS in device cycles, rounded up
+}
+
+func newTimeoutPolicy(dev dram.Config, cfg Config) *timeoutPolicy {
+	return &timeoutPolicy{cycles: int64(math.Ceil(cfg.RowTimeoutNS / dev.ClockNS))}
+}
+
+func (p *timeoutPolicy) Name() string { return "timeout" }
+
+func (p *timeoutPolicy) TickClose(c *Controller, now int64) {
+	banks := c.dev.NumBanks()
+	for b := 0; b < banks; b++ {
+		last, open := c.dev.OpenRowIdleSince(b)
+		if !open || now-last < p.cycles {
+			continue
+		}
+		if c.openRowQueued[b] > 0 {
+			continue
+		}
+		if c.dev.CanIssue(dram.Command{Kind: dram.KindPRE, Bank: b}) {
+			c.closeRow(b)
+			return // one command per cycle
+		}
+	}
+}
+
+// BankCloseCycle: the later of the open row's idle deadline and the PRE
+// timing floor, or ffNever when the bank is closed or a queued request
+// targets its open row (the exemption expires only when that request
+// issues — a dirtyBank event).
+func (p *timeoutPolicy) BankCloseCycle(c *Controller, b int) int64 {
+	last, open := c.dev.OpenRowIdleSince(b)
+	if !open {
+		return ffNever
+	}
+	if c.openRowQueued[b] > 0 {
+		return ffNever
+	}
+	return max(last+p.cycles, c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b}))
+}
+
+// openPagePolicy never closes rows on its own: rows stay open until a
+// conflict or refresh forces a precharge. Its ffNever component keeps the
+// row-close scan entirely off the tick path.
+type openPagePolicy struct{}
+
+func (openPagePolicy) Name() string                          { return "open" }
+func (openPagePolicy) TickClose(*Controller, int64)          {}
+func (openPagePolicy) BankCloseCycle(*Controller, int) int64 { return ffNever }
+
+// closedPagePolicy precharges an open row as soon as no queued request
+// targets it — the classic closed-page policy that trades row-hit locality
+// for lower conflict latency on random traffic.
+type closedPagePolicy struct{}
+
+func (closedPagePolicy) Name() string { return "closed" }
+
+func (closedPagePolicy) TickClose(c *Controller, now int64) {
+	banks := c.dev.NumBanks()
+	for b := 0; b < banks; b++ {
+		open, _ := c.dev.BankState(b)
+		if !open || c.openRowQueued[b] > 0 {
+			continue
+		}
+		if c.dev.CanIssue(dram.Command{Kind: dram.KindPRE, Bank: b}) {
+			c.closeRow(b)
+			return
+		}
+	}
+}
+
+func (closedPagePolicy) BankCloseCycle(c *Controller, b int) int64 {
+	open, _ := c.dev.BankState(b)
+	if !open || c.openRowQueued[b] > 0 {
+		return ffNever
+	}
+	return c.dev.EarliestIssue(dram.Command{Kind: dram.KindPRE, Bank: b})
+}
+
+// hitCountPolicy is the max_row_hits/max_row_idle idiom (cf. SNIPPETS.md
+// Snippet 3): a row is closed once it has served MaxRowHits consecutive
+// column accesses since its ACT — even with further hits queued — or, below
+// that count, once it has idled past the timeout like timeoutPolicy. The
+// hit limit bounds how long one hot row can monopolize a bank, which the
+// FR-FCFS cap only does when an older conflict is already waiting.
+type hitCountPolicy struct {
+	idleCycles int64
+	maxHits    int
+}
+
+func newHitCountPolicy(dev dram.Config, cfg Config) *hitCountPolicy {
+	return &hitCountPolicy{
+		idleCycles: int64(math.Ceil(cfg.RowTimeoutNS / dev.ClockNS)),
+		maxHits:    cfg.MaxRowHits,
+	}
+}
+
+func (p *hitCountPolicy) Name() string { return "hitcount" }
+
+func (p *hitCountPolicy) TickClose(c *Controller, now int64) {
+	banks := c.dev.NumBanks()
+	for b := 0; b < banks; b++ {
+		last, open := c.dev.OpenRowIdleSince(b)
+		if !open {
+			continue
+		}
+		if c.hitStreak[b] < p.maxHits {
+			// Below the hit limit the policy degrades to the idle timeout,
+			// with the same queued-request exemption.
+			if c.openRowQueued[b] > 0 || now-last < p.idleCycles {
+				continue
+			}
+		}
+		if c.dev.CanIssue(dram.Command{Kind: dram.KindPRE, Bank: b}) {
+			c.closeRow(b)
+			return
+		}
+	}
+}
+
+func (p *hitCountPolicy) BankCloseCycle(c *Controller, b int) int64 {
+	last, open := c.dev.OpenRowIdleSince(b)
+	if !open {
+		return ffNever
+	}
+	pre := dram.Command{Kind: dram.KindPRE, Bank: b}
+	if c.hitStreak[b] >= p.maxHits {
+		return c.dev.EarliestIssue(pre)
+	}
+	if c.openRowQueued[b] > 0 {
+		return ffNever
+	}
+	return max(last+p.idleCycles, c.dev.EarliestIssue(pre))
+}
+
+// closeRow issues the policy-initiated PRE on bank b (the caller checked
+// CanIssue) and performs the shared bookkeeping: streak reset, open-row
+// count, the TimeoutCloses counter, and horizon dirtying.
+func (c *Controller) closeRow(b int) {
+	c.dev.Issue(dram.Command{Kind: dram.KindPRE, Bank: b})
+	c.resetStreak(b)
+	c.openRowQueued[b] = 0
+	c.st.TimeoutCloses++
+	c.dirtyBank(b)
+}

@@ -109,6 +109,14 @@ type Options struct {
 	// fork-identity tests).
 	DisableWarmupFork bool
 
+	// Standard selects the DRAM standard (geometry + timing package) by
+	// registry name (dram.StandardNames; "" means dram.DefaultStandard, the
+	// paper's ddr4-2400 device). It is honored only while Device is zero —
+	// an explicitly-set Device wins, preserving callers that hand-build
+	// geometry. Non-CLR-capable standards (fixed timing tables like
+	// lpddr4-3200) reject CLR-enabled configurations at NewSystem time.
+	Standard string
+
 	CPU    cpu.Config
 	LLC    cache.Config
 	Mem    mem.Config

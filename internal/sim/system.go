@@ -123,6 +123,18 @@ func (s *System) FFGovernorStats() (attempts, disengages int64) {
 // under the given CLR-DRAM configuration. All profiles use Options.Seed
 // (offset per core) so runs are reproducible.
 func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*System, error) {
+	if opts.Standard != "" || opts.Device.BankGroups == 0 {
+		std, err := dram.NewStandard(opts.Standard)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if clr.Enabled && !std.CLRCapable() {
+			return nil, fmt.Errorf("sim: standard %q has a fixed timing table and cannot model CLR-DRAM row modes; run it with the baseline configuration", std.Name())
+		}
+		if opts.Device.BankGroups == 0 {
+			opts.Device = std.DeviceConfig()
+		}
+	}
 	opts = opts.withDefaults()
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("sim: no workloads")

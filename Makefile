@@ -18,8 +18,14 @@ tier1:
 	go vet ./...
 	go test ./...
 
+# race runs the simulator package first and by itself: the decoupled
+# fast-forward stretch (DESIGN.md §15) shares core/controller state with the
+# worker-fanned experiment engine, so its identity and lag-invariant tests are
+# the suite's most race-sensitive surface. The second line covers the rest of
+# the tree without re-running it.
 race:
-	go test -race ./...
+	go test -race ./internal/sim/...
+	go test -race $$(go list ./... | grep -v '/internal/sim')
 
 # fmt fails (listing the offending files) if any file needs gofmt.
 fmt:
@@ -42,11 +48,15 @@ docs-check: fmt
 
 # ffdiff proves the next-event fast-forward path bit-identical to the
 # ticked loop: same Result, same canonical RunReport, same figure CSVs,
-# across the full 71-profile workload set, a 4-core mix, and an
-# end-to-end Fig. 12 CSV (DESIGN.md §9). Also part of `go test ./...`;
-# called out here so `make check` names the property it guards.
+# across the full 71-profile workload set, a 4-core mix, an end-to-end
+# Fig. 12 CSV (DESIGN.md §9), and — for the decoupled per-core lag path
+# (DESIGN.md §15) — the heterogeneous-mix matrix (1mcf+3gamess,
+# 2mcf+2gamess, 4×random under both planner modes, plus an experiment-level
+# sweep at workers 1 and 4), the RunFor retirement-ceiling legs, and the
+# flush-boundary twin invariant. Also part of `go test ./...`; called out
+# here so `make check` names the property it guards.
 ffdiff:
-	go test ./internal/sim -run 'TestFastForwardIdentity' -count=1
+	go test ./internal/sim -run 'TestFastForwardIdentity|TestDecoupled|TestAccumulator' -count=1
 
 # ckdiff proves the compiled circuit-stepping kernel AND the batched
 # K-draw kernel bit-identical to the interpreted reference loop: exact
@@ -98,7 +108,8 @@ bench:
 
 # bench-ff measures the fast-forward payoff across all three modes (off,
 # always-on, adaptive) over the compute-bound, memory-intensive, and random
-# profiles, and writes BENCH_ff.json (EXPERIMENTS.md table W4).
+# single-core profiles plus the heterogeneous multi-core mixes the decoupled
+# lag path targets, and writes BENCH_ff.json (EXPERIMENTS.md tables W4/W6).
 bench-ff:
 	go run ./cmd/ffbench -out BENCH_ff.json
 

@@ -33,11 +33,28 @@ import (
 	"clrdram/internal/workload"
 )
 
-// benchProfiles are the measured workloads: the two acceptance anchors (the
-// compute-bound profile that must keep its big win, the memory-intensive one
-// the adaptive governor exists for) plus a synthetic random stream between
-// them.
-var benchProfiles = []string{"416.gamess-like", "429.mcf-like", "random_00"}
+// benchSpec names one measured workload: a single-core profile or a
+// multi-core mix (one workload name per core).
+type benchSpec struct {
+	name  string
+	cores []string
+}
+
+// benchSpecs are the measured workloads. Single-core: the two acceptance
+// anchors (the compute-bound profile that must keep its big win, the
+// memory-intensive one the adaptive governor exists for) plus a synthetic
+// random stream between them. Multi-core: the heterogeneous mixes the
+// decoupled lag path (DESIGN.md §15) exists for — a joint planner can skip
+// nothing while any core streams memory, so these rows isolate what per-core
+// lagging buys — plus a homogeneous all-memory mix as its worst case.
+var benchSpecs = []benchSpec{
+	{"416.gamess-like", []string{"416.gamess-like"}},
+	{"429.mcf-like", []string{"429.mcf-like"}},
+	{"random_00", []string{"random_00"}},
+	{"1mcf+3gamess", []string{"429.mcf-like", "416.gamess-like", "416.gamess-like", "416.gamess-like"}},
+	{"2mcf+2gamess", []string{"429.mcf-like", "429.mcf-like", "416.gamess-like", "416.gamess-like"}},
+	{"4random", []string{"random_00", "random_00", "random_00", "random_00"}},
+}
 
 // smokeProfile is the -smoke gate's workload: memory-intensive, where an
 // always-on planner historically lost to the per-cycle loop.
@@ -59,11 +76,18 @@ type modeResult struct {
 	// mode "adaptive".
 	PlanAttempts int64 `json:"plan_attempts,omitempty"`
 	Disengages   int64 `json:"disengages,omitempty"`
+	// Decoupled-lag accounting (sim.System.FFLagStats); nonzero only when
+	// the classification went mixed and per-core lagging engaged.
+	LagFlushes       int64 `json:"lag_flushes,omitempty"`
+	LaggedCoreCycles int64 `json:"lagged_core_cycles,omitempty"`
 }
 
-// profileResult is one workload's row in the report.
+// profileResult is one workload's row in the report. Instructions is the
+// per-core target; sim_instr_per_s counts all cores' retired instructions.
 type profileResult struct {
 	Name            string     `json:"name"`
+	Cores           int        `json:"cores"`
+	Workloads       []string   `json:"workloads"`
 	MemIntensive    bool       `json:"mem_intensive"`
 	Instructions    uint64     `json:"instructions"`
 	Rounds          int        `json:"rounds"`
@@ -74,7 +98,8 @@ type profileResult struct {
 	SpeedupAdaptive float64    `json:"speedup_adaptive_vs_off"`
 }
 
-// benchReport is the BENCH_ff.json schema (v1), regenerable with
+// benchReport is the BENCH_ff.json schema (v2: multi-core rows with per-core
+// workload lists and decoupled-lag counters), regenerable with
 // `make bench-ff`.
 type benchReport struct {
 	Schema   string          `json:"schema"`
@@ -103,21 +128,20 @@ func main() {
 		return
 	}
 
-	names := benchProfiles
 	rep := benchReport{
-		Schema: "clrdram/bench-ff/v1",
+		Schema: "clrdram/bench-ff/v2",
 		GOOS:   runtime.GOOS,
 		GOARCH: runtime.GOARCH,
 		CPUs:   runtime.NumCPU(),
 	}
-	for _, name := range names {
-		pr, err := measureProfile(name, *instrs, *rounds, logf)
+	for _, spec := range benchSpecs {
+		pr, err := measureSpec(spec, *instrs, *rounds, logf)
 		if err != nil {
 			fatal(err)
 		}
 		rep.Profiles = append(rep.Profiles, pr)
 		logf("%s: off %.2fM on %.2fM (%.2fx) adaptive %.2fM (%.2fx) sim-instr/s",
-			name, pr.Off.SimInstrPerS/1e6, pr.On.SimInstrPerS/1e6, pr.SpeedupOn,
+			spec.name, pr.Off.SimInstrPerS/1e6, pr.On.SimInstrPerS/1e6, pr.SpeedupOn,
 			pr.Adaptive.SimInstrPerS/1e6, pr.SpeedupAdaptive)
 	}
 	if err := writeReport(*out, rep); err != nil {
@@ -125,16 +149,24 @@ func main() {
 	}
 }
 
-// measureProfile runs one workload under all three modes for the given
+// measureSpec runs one workload spec under all three modes for the given
 // number of interleaved rounds and reduces to per-mode minima.
-func measureProfile(name string, instrs uint64, rounds int, logf func(string, ...any)) (profileResult, error) {
-	p, ok := workload.ByName(name)
-	if !ok {
-		return profileResult{}, fmt.Errorf("unknown workload %q", name)
+func measureSpec(spec benchSpec, instrs uint64, rounds int, logf func(string, ...any)) (profileResult, error) {
+	profiles := make([]workload.Profile, len(spec.cores))
+	memIntensive := false
+	for i, name := range spec.cores {
+		p, ok := workload.ByName(name)
+		if !ok {
+			return profileResult{}, fmt.Errorf("unknown workload %q", name)
+		}
+		profiles[i] = p
+		memIntensive = memIntensive || p.MemIntensive
 	}
 	pr := profileResult{
-		Name:         name,
-		MemIntensive: p.MemIntensive,
+		Name:         spec.name,
+		Cores:        len(spec.cores),
+		Workloads:    spec.cores,
+		MemIntensive: memIntensive,
 		Instructions: instrs,
 		Rounds:       rounds,
 	}
@@ -142,21 +174,21 @@ func measureProfile(name string, instrs uint64, rounds int, logf func(string, ..
 	stats := make([]modeResult, len(ffModes))
 	for r := 0; r < rounds; r++ {
 		for mi, mode := range ffModes {
-			sec, st, err := measureOnce(p, mode, instrs)
+			sec, st, err := measureOnce(profiles, mode, instrs)
 			if err != nil {
 				return profileResult{}, err
 			}
 			if r == 0 || sec < best[mi] {
 				best[mi] = sec
 			}
-			// Skip/governor counters are deterministic per mode; any
+			// Skip/governor/lag counters are deterministic per mode; any
 			// round's snapshot is the run's snapshot.
 			stats[mi] = st
 		}
-		logf("%s: round %d/%d done", name, r+1, rounds)
+		logf("%s: round %d/%d done", spec.name, r+1, rounds)
 	}
 	for mi := range ffModes {
-		stats[mi].SimInstrPerS = float64(instrs) / best[mi]
+		stats[mi].SimInstrPerS = float64(instrs) * float64(len(profiles)) / best[mi]
 	}
 	pr.Off, pr.On, pr.Adaptive = stats[0], stats[1], stats[2]
 	pr.SpeedupOn = pr.On.SimInstrPerS / pr.Off.SimInstrPerS
@@ -168,13 +200,13 @@ func measureProfile(name string, instrs uint64, rounds int, logf func(string, ..
 // The configuration mirrors the repo's BenchmarkFastForward* pairs: CLR at
 // 50% HP rows, setup record budgets kept small so the steady-state cycle
 // loop dominates.
-func measureOnce(p workload.Profile, mode sim.FFMode, instrs uint64) (float64, modeResult, error) {
+func measureOnce(profiles []workload.Profile, mode sim.FFMode, instrs uint64) (float64, modeResult, error) {
 	opts := sim.DefaultOptions()
 	opts.TargetInstructions = instrs
 	opts.WarmupRecords = 2_000
 	opts.ProfileRecords = 2_000
 	opts.FastForward = mode
-	s, err := sim.NewSystem([]workload.Profile{p}, core.CLR(0.5), opts)
+	s, err := sim.NewSystem(profiles, core.CLR(0.5), opts)
 	if err != nil {
 		return 0, modeResult{}, err
 	}
@@ -190,11 +222,12 @@ func measureOnce(p workload.Profile, mode sim.FFMode, instrs uint64) (float64, m
 		sec = cpu1 - cpu0
 	}
 	if res.TimedOut {
-		return 0, modeResult{}, fmt.Errorf("%s: run hit the cycle bound before the instruction target", p.Name)
+		return 0, modeResult{}, fmt.Errorf("%s: run hit the cycle bound before the instruction target", profiles[0].Name)
 	}
 	var st modeResult
 	st.Skips, st.SkippedCycles = s.FFStats()
 	st.PlanAttempts, st.Disengages = s.FFGovernorStats()
+	st.LagFlushes, st.LaggedCoreCycles = s.FFLagStats()
 	return sec, st, nil
 }
 
@@ -202,7 +235,7 @@ func measureOnce(p workload.Profile, mode sim.FFMode, instrs uint64) (float64, m
 // on the memory-intensive profile, asserting the adaptive governor keeps
 // planner overhead from dragging throughput below the planner-off loop.
 func runSmoke(instrs uint64, logf func(string, ...any)) error {
-	pr, err := measureProfile(smokeProfile, instrs, 3, logf)
+	pr, err := measureSpec(benchSpec{name: smokeProfile, cores: []string{smokeProfile}}, instrs, 3, logf)
 	if err != nil {
 		return err
 	}

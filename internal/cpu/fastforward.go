@@ -1,12 +1,33 @@
 package cpu
 
 // This file is the core's half of the system simulator's next-event
-// fast-forward path (see internal/sim and DESIGN.md §9). The contract: the
-// core classifies its own next-cycle behaviour (FFState), and the sim layer
-// — after bounding the span with the LLC-hit and DRAM-controller horizons —
-// bulk-advances it with SkipBurst/SkipStalled. Both bulk operations are
-// bit-identical to calling Tick the same number of times under the declared
-// preconditions; any divergence is a bug the differential tests catch.
+// fast-forward path (see internal/sim and DESIGN.md §9, §15). The contract:
+// the core classifies its own next-cycle behaviour (FFState), and the sim
+// layer bulk-advances it with SkipBurst/SkipFill/SkipStalled. Both bulk
+// operations are bit-identical to calling Tick the same number of times
+// under the declared preconditions; any divergence is a bug the
+// differential tests catch.
+//
+// The sim layer consumes a classification in two ways:
+//   - Joint skip (DESIGN.md §9): every core is skippable, the span is
+//     bounded up front (horizons, hit dues, CapCycles), and the whole
+//     system jumps at once.
+//   - Decoupled lag (DESIGN.md §15): only some cores are skippable; each
+//     accumulates a lag counter while the rest tick, and the accumulated
+//     cycles are flushed through the same Skip operations at the first
+//     event that could end the classification's validity window.
+//
+// Validity windows, per class: Burst and Fill hold for at most CapCycles
+// further ticks (the classification itself excludes the boundary tick) and
+// are additionally cut short by any load completion delivered to the core —
+// not because the bulk ops become wrong (any k ≤ cap is exact), but because
+// the completion changes loadsInFlight, which the Skip ops fold in as a
+// constant over the span. The stall classes (window-full, MSHR, EOF retire
+// stall, port-blocked) are event-bounded only: they hold until a completion
+// (or, for port-blocked, a read-queue dequeue on the target channel) and
+// CapCycles is unbounded. The drained-EOF no-op holds forever. The sim
+// layer must therefore flush a lagged core BEFORE delivering any completion
+// to it, and a skipped/lagged span may never include a completion.
 
 // FFState describes whether, and how, the core can be advanced several
 // cycles at once without running Tick.
@@ -160,6 +181,23 @@ func (c *Core) FFState() FFState {
 // RetireWidth returns the configured retire width (the sim layer needs it to
 // cap bursts against external retirement ceilings, e.g. RunFor thresholds).
 func (c *Core) RetireWidth() int { return c.cfg.RetireWidth }
+
+// ffUnbounded is CapCycles' answer for event-bounded classifications: the
+// stall classes stay valid until an external event, not a cycle count.
+const ffUnbounded = int64(1) << 62
+
+// CapCycles returns the classification's self-imposed validity bound: how
+// many further ticks the declared transition repeats before the boundary
+// tick must run for real. Burst and Fill report their MaxCycles; the stall
+// and drained-EOF classes are event-bounded and report ffUnbounded (their
+// windows end only at a completion or port event — see the file comment).
+// Only meaningful when Skippable.
+func (st FFState) CapCycles() int64 {
+	if st.Burst || st.Fill {
+		return st.MaxCycles
+	}
+	return ffUnbounded
+}
 
 // SkipBurst advances the core k cycles of pure-bubble execution in O(1),
 // exactly as if Tick had run k times under FFState.Burst's preconditions.

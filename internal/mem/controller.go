@@ -155,6 +155,12 @@ type Controller struct {
 	ffGen        uint64
 	ffSched      int64 // scheduleHorizon memo, recomputed when dirty or reached
 	ffSchedValid bool
+	// deqGen counts read-queue dequeues. The simulator's decoupled lag path
+	// uses it as the wake hook for port-blocked lagged cores: the read queue
+	// can only open when a read leaves it, so a lagged core's CanEnqueue
+	// re-check is needed only on a generation change — one integer compare
+	// per cycle instead of a queue-length probe per lagged core.
+	deqGen uint64
 	// ffEager opts into eager schedule-horizon republication (horizon.go's
 	// SetEagerHorizon): issue and enqueue events recompute the memo
 	// immediately instead of leaving it to the next failed scan. Off by
@@ -790,8 +796,17 @@ func (c *Controller) resetStreak(bank int) {
 
 // removeAt removes index i from q preserving order (FCFS age order).
 func (c *Controller) removeAt(q *[]*Request, i int) {
+	if q == &c.readQ {
+		c.deqGen++
+	}
 	*q = append((*q)[:i], (*q)[i+1:]...)
 }
+
+// DequeueGen returns the read-queue dequeue generation: it changes exactly
+// when a read leaves the queue, i.e. the only event that can turn a full
+// read port into an accepting one. A caller watching a full port can cache
+// the generation and skip CanEnqueue until it moves (see struct comment).
+func (c *Controller) DequeueGen() uint64 { return c.deqGen }
 
 // Drained reports whether all queues and in-flight completions are empty.
 func (c *Controller) Drained() bool {

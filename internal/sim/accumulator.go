@@ -1,0 +1,211 @@
+package sim
+
+// Closed-form bound for the DRAM-clock accumulator walk (DESIGN.md §9, §15).
+//
+// walkAccumulator must replay step()'s exact float64 operation order —
+// acc = fl(acc + per), then exact −1 per device tick — so a skipped span
+// lands the accumulator bit-identically to ticking through it. The naive
+// replay is O(k) per planned span, which makes the accumulator walk the
+// asymptotic cost of very long skips.
+//
+// The trajectory has exploitable structure: it is eventually periodic, and
+// for real clock ratios the period is tiny. Every subtraction result comes
+// from the [1,2) binade, so post-tick states live on the coarse 2⁻⁵² grid;
+// round-to-nearest then snaps the orbit onto a short attractor (period 10
+// for the paper's 4 GHz CPU over DDR4-2400, 5–7 for the other shipped
+// ratios). An orbit table — the states from the current accumulator value
+// up to the first repeat, with prefix sums of their device ticks — turns
+// the walk into arithmetic: whole periods contribute exactly ticksPerPeriod
+// each, the residue is a table lookup, and the largest k whose span carries
+// at most maxDev ticks falls out of a binary search over the exact prefix
+// sums (O(log k) integer work, no float replay).
+//
+// The closed form is belt-and-braces confirmed on every use by replaying
+// the final ffAccConfirm cycles of the span with the genuine float64
+// operations and checking state and tick count (plus, when the span was
+// tick-bounded, that the boundary cycle really overshoots). Any mismatch
+// permanently falls back to the O(k) replay loop, as do accumulator/ratio
+// combinations whose orbit does not close within ffAccMaxStates states.
+// The replay-vs-closed-form property test in accumulator_test.go drives
+// both paths over random accumulator states.
+
+const (
+	// ffAccMaxStates caps the orbit table: a trajectory that does not
+	// repeat within this many states keeps the plain replay loop (real
+	// clock ratios close their orbit within ~15 states).
+	ffAccMaxStates = 4096
+	// ffAccConfirm is the final-span length re-replayed in float64 to
+	// confirm each closed-form answer against the reference operations.
+	ffAccConfirm = 4
+	// ffAccShortWalk is the walk length below which the O(k) replay loop
+	// beats the orbit dispatch (binary search plus confirmation replay):
+	// horizon-bound planning attempts on memory-busy workloads ask for
+	// walks of a few cycles, thousands of times per run.
+	ffAccShortWalk = 64
+)
+
+// accStep is one cycle of step()'s accumulator update, extracted so the
+// orbit builder, the confirmation replay, and the fallback loop all share
+// the reference float64 operation order.
+func accStep(acc, per float64) (float64, int64) {
+	a := acc + per
+	var t int64
+	for a >= 1 {
+		a--
+		t++
+	}
+	return a, t
+}
+
+// accOrbit is the lazily-built orbit table of the accumulator trajectory
+// from some starting state: vals holds the states in walk order until the
+// first repeat, cum[i] the device ticks consumed by the first i steps, and
+// loop the index the step after vals[len-1] returns to. The accumulator
+// only ever evolves by accStep (step, stepMemoryOnly, and applySkip's
+// accAfter all follow the same map), so once built from the current state
+// every future state is in the table; build is re-run defensively if not.
+type accOrbit struct {
+	built  bool
+	valid  bool
+	per    float64
+	idx    map[float64]int32
+	vals   []float64
+	cum    []int64
+	loopAt int
+}
+
+// build walks the trajectory from start until it repeats (valid) or the
+// table cap is hit (invalid: the caller falls back to the replay loop).
+func (o *accOrbit) build(start, per float64) {
+	o.built = true
+	o.valid = false
+	o.per = per
+	if per <= 0 || start < 0 || start >= 1 {
+		return
+	}
+	if o.idx == nil {
+		o.idx = make(map[float64]int32, 32)
+	} else {
+		clear(o.idx)
+	}
+	o.vals = o.vals[:0]
+	o.cum = append(o.cum[:0], 0)
+	acc := start
+	loop := -1
+	for len(o.vals) < ffAccMaxStates {
+		if j, ok := o.idx[acc]; ok {
+			loop = int(j)
+			break
+		}
+		o.idx[acc] = int32(len(o.vals))
+		o.vals = append(o.vals, acc)
+		next, t := accStep(acc, per)
+		o.cum = append(o.cum, o.cum[len(o.cum)-1]+t)
+		acc = next
+	}
+	if loop < 0 {
+		return
+	}
+	o.loopAt = loop
+	// A cycle inside [0,1) must carry at least one tick per period, or the
+	// accumulator would be strictly increasing and could never return.
+	if o.cum[len(o.vals)]-o.cum[loop] < 1 {
+		return
+	}
+	o.valid = true
+}
+
+// ticksTo returns the cumulative device ticks of the first p steps from
+// vals[0], extending the table periodically past its end.
+func (o *accOrbit) ticksTo(p int64) int64 {
+	n := int64(len(o.vals))
+	if p <= n {
+		return o.cum[p]
+	}
+	loop := int64(o.loopAt)
+	period := n - loop
+	perTicks := o.cum[n] - o.cum[loop]
+	q := (p - loop) / period
+	r := (p - loop) % period
+	return q*perTicks + o.cum[loop+r]
+}
+
+// stateAt returns the accumulator value after p steps from vals[0].
+func (o *accOrbit) stateAt(p int64) float64 {
+	n := int64(len(o.vals))
+	if p < n {
+		return o.vals[p]
+	}
+	loop := int64(o.loopAt)
+	return o.vals[loop+(p-loop)%(n-loop)]
+}
+
+// walkAccumulatorClosed is the closed-form walkAccumulator: it answers from
+// the orbit table and confirms against a float64 replay of the final span.
+// ok=false means the preconditions failed (no short orbit, stale table, or
+// a confirmation mismatch) and the caller must run the reference loop.
+func (s *System) walkAccumulatorClosed(kMax, maxDev int64) (k, devTicks int64, accAfter float64, ok bool) {
+	if kMax < 0 {
+		kMax = 0
+	}
+	o := &s.ffOrbit
+	if !o.built || o.per != s.dramPerCPU {
+		o.build(s.dramAcc, s.dramPerCPU)
+	}
+	if !o.valid {
+		return 0, 0, 0, false
+	}
+	i, found := o.idx[s.dramAcc]
+	if !found {
+		// The accumulator left the recorded orbit (it can only do so if it
+		// was reset externally); rebuild from the current state.
+		o.build(s.dramAcc, s.dramPerCPU)
+		if !o.valid {
+			return 0, 0, 0, false
+		}
+		i = 0
+	}
+	i0 := int64(i)
+	base := o.ticksTo(i0)
+	f := func(k int64) int64 { return o.ticksTo(i0+k) - base }
+	// Largest k ≤ kMax with f(k) ≤ maxDev. f is the candidate arithmetic:
+	// exact prefix sums inside the table, exact per-period rate beyond it —
+	// a monotone integer function, inverted by binary search.
+	k = kMax
+	if f(k) > maxDev {
+		lo, hi := int64(0), k // f(lo) ≤ maxDev invariant: f(0) = 0
+		for hi-lo > 1 {
+			mid := lo + (hi-lo)/2
+			if f(mid) <= maxDev {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		k = lo
+	}
+	devTicks = f(k)
+	accAfter = o.stateAt(i0 + k)
+	// Confirm with the exact float64 replay over the final span.
+	span := int64(ffAccConfirm)
+	if span > k {
+		span = k
+	}
+	acc := o.stateAt(i0 + k - span)
+	t := f(k - span)
+	for j := int64(0); j < span; j++ {
+		var dt int64
+		acc, dt = accStep(acc, s.dramPerCPU)
+		t += dt
+	}
+	boundaryOK := true
+	if k < kMax {
+		_, dt := accStep(acc, s.dramPerCPU)
+		boundaryOK = t+dt > maxDev
+	}
+	if acc != accAfter || t != devTicks || !boundaryOK {
+		o.valid = false // never trust this table again
+		return 0, 0, 0, false
+	}
+	return k, devTicks, accAfter, true
+}

@@ -112,6 +112,24 @@ func (s *System) runLoop(ctx context.Context, done func() bool, ceilings []uint6
 					}
 					continue
 				}
+				if s.ffMixed {
+					// Mixed classification: some cores are skippable, others
+					// must tick. Run a decoupled stretch — unskippable cores,
+					// controllers and the device step for real every cycle
+					// while skippable cores accumulate lag counters that are
+					// flushed at their first wake event (decoupled.go). The
+					// stretch returns with all lags flushed; its gain feeds
+					// the governor as whole-system-equivalent skipped cycles
+					// so mixes keep the planner engaged.
+					gain, timedOut, err := s.runDecoupled(ctx, done, ceilings, &ctxCheck)
+					if timedOut || err != nil {
+						return timedOut, err
+					}
+					if adaptive {
+						s.ffGovern(gain)
+					}
+					continue
+				}
 				if costly {
 					if adaptive {
 						// Only horizon-stage failures feed the governor: cheap
@@ -184,7 +202,16 @@ func (s *System) ffGovern(k float64) {
 // bounded by the controller horizon (paced — the cycle after the span
 // carries the horizon device tick). Core states are left in s.ffStates for
 // applySkip.
+//
+// A failed joint plan is no longer all-or-nothing: when at least one core is
+// skippable while another is not, planSkip classifies every core anyway,
+// records the per-core outcome in s.ffCanLag (classifications in s.ffStates),
+// and sets s.ffMixed — runLoop then enters a decoupled lag stretch
+// (decoupled.go) instead of stepping everything. ffMixed is reset on entry so
+// the cheap pre-core bails (pending writeback, due hit) never leave a stale
+// mask behind.
 func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float64, costly, paced bool) {
+	s.ffMixed = false
 	if len(s.pendingWB) > 0 {
 		return 0, 0, 0, false, false
 	}
@@ -201,11 +228,31 @@ func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float6
 			kCap = d
 		}
 	}
+	skippable, lagEligible := 0, 0
 	for i, c := range s.cores {
 		st := c.FFState()
-		if !st.Skippable {
-			return 0, 0, 0, false, false
+		if st.Skippable && st.NeedPortBlocked {
+			// Valid only while the memory system rejects the pending record.
+			// Both Load and Store gate on the read queue (a store miss
+			// fetches the line), and queue lengths are frozen for the span.
+			// The retried address is frozen too, and address→channel mapping
+			// is pure, so the translation is cached across attempts.
+			if !s.ffPortOK[i] || s.ffPortAddr[i] != st.Addr {
+				global := s.bases[i] + st.Addr
+				ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
+				s.ffPortAddr[i], s.ffPortCh[i], s.ffPortOK[i] = st.Addr, ch, true
+			}
+			if s.ctrls[s.ffPortCh[i]].CanEnqueue(false) {
+				st.Skippable = false // the port would accept: the access must run
+			}
 		}
+		s.ffStates[i] = st
+		s.ffCanLag[i] = false
+		if !st.Skippable {
+			continue
+		}
+		skippable++
+		eligible := true
 		if st.Burst || st.Fill {
 			if st.MaxCycles < kCap {
 				kCap = st.MaxCycles
@@ -219,24 +266,22 @@ func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float6
 				if kc < kCap {
 					kCap = kc
 				}
+				// A zero ceiling headroom means the very next tick's retire
+				// group crosses: the core is skippable by class but not
+				// lag-eligible (decoupled stretches must make progress).
+				eligible = kc >= 1
 			}
 		}
-		if st.NeedPortBlocked {
-			// Valid only while the memory system rejects the pending record.
-			// Both Load and Store gate on the read queue (a store miss
-			// fetches the line), and queue lengths are frozen for the span.
-			// The retried address is frozen too, and address→channel mapping
-			// is pure, so the translation is cached across attempts.
-			if !s.ffPortOK[i] || s.ffPortAddr[i] != st.Addr {
-				global := s.bases[i] + st.Addr
-				ch, _ := s.mapper.TranslateChannel(s.llc.LineAddr(global))
-				s.ffPortAddr[i], s.ffPortCh[i], s.ffPortOK[i] = st.Addr, ch, true
-			}
-			if s.ctrls[s.ffPortCh[i]].CanEnqueue(false) {
-				return 0, 0, 0, false, false // the port would accept: the access must run
-			}
+		s.ffCanLag[i] = eligible
+		if eligible {
+			lagEligible++
 		}
-		s.ffStates[i] = st
+	}
+	if skippable < len(s.cores) {
+		// Decoupling needs a second core: with one core there is nothing to
+		// keep real while it lags, and the paced path is strictly cheaper.
+		s.ffMixed = lagEligible > 0 && len(s.cores) > 1
+		return 0, 0, 0, false, false
 	}
 	if kCap < ffMinSpan {
 		return 0, 0, 0, false, false
@@ -248,6 +293,15 @@ func (s *System) planSkip(ceilings []uint64) (k, devTicks int64, accAfter float6
 		maxDev = 0
 	}
 	k, devTicks, accAfter = s.walkAccumulator(kCap, maxDev)
+	if k < ffMinSpan && k < kCap {
+		// Horizon-bound failure: every core is skippable but the memory
+		// system is busy. A decoupled stretch lags them all through the
+		// busy window (device-only stepping) far cheaper than event-paced
+		// real steps; cap-bound failures (k == kCap) stay on the paced
+		// path, where the bounding event clears within k+1 cycles. Single-
+		// core systems stay paced too (same reasoning as the mixed case).
+		s.ffMixed = lagEligible > 0 && len(s.cores) > 1
+	}
 	return k, devTicks, accAfter, true, k < kCap
 }
 
@@ -284,9 +338,25 @@ func (s *System) jointHorizon() int64 {
 }
 
 // walkAccumulator finds the largest k ≤ kMax whose span carries at most
-// maxDev device ticks, replaying step()'s exact float64 accumulator
-// operations so the post-skip accumulator is bit-identical to k real steps.
+// maxDev device ticks, landing the post-span accumulator bit-identically to
+// k real steps. The closed form in accumulator.go answers from the cached
+// trajectory orbit in O(log k) and self-verifies with a float64 replay of
+// the final span; the O(k) replay of step()'s exact float64 operations below
+// remains both the fallback and the reference.
 func (s *System) walkAccumulator(kMax, maxDev int64) (k, devTicks int64, accAfter float64) {
+	// Provably short walks skip the orbit dispatch: k never exceeds kMax,
+	// and each cycle adds per to the accumulator, so maxDev ticks are
+	// exhausted within ~(maxDev+1)/per cycles. Below the threshold the
+	// replay loop is cheaper than the closed form's binary search and
+	// confirmation replay — and horizon-bound planning attempts on
+	// memory-busy workloads sit in exactly that regime.
+	short := kMax <= ffAccShortWalk ||
+		(s.dramPerCPU > 0 && float64(maxDev+1) <= float64(ffAccShortWalk)*s.dramPerCPU)
+	if !short {
+		if k, devTicks, accAfter, ok := s.walkAccumulatorClosed(kMax, maxDev); ok {
+			return k, devTicks, accAfter
+		}
+	}
 	acc := s.dramAcc
 	per := s.dramPerCPU
 	for k < kMax {

@@ -103,6 +103,33 @@ type System struct {
 	ffProbe      int
 	ffAttempts   int64
 	ffDisengages int64
+
+	// Decoupled per-core lag state (decoupled.go): when planSkip finds a
+	// mixed classification (some cores skippable, some not), each skippable
+	// core carries a lag counter instead of ticking while the rest of the
+	// system steps for real. ffStates[i] holds the captured classification
+	// for the whole lag interval; ffLagCap bounds it (CapCycles plus any
+	// RunFor ceiling); ffPortGen is the last-seen read-queue dequeue
+	// generation of a port-blocked core's cached channel. ffAnyLag is the
+	// cheap "is anything lagged" gate the completion hooks check.
+	ffCanLag       []bool
+	ffLagged       []bool
+	ffLag          []int64
+	ffLagCap       []int64
+	ffPortGen      []uint64
+	ffRetryAt      []int64
+	ffAnyLag       bool
+	ffMixed        bool
+	ffLagWorth     float64
+	ffLagFlushes   int64
+	ffLaggedCycles int64
+	// ffOnFlush, when non-nil, runs after every lag flush (test-only
+	// instrumentation for the flush-boundary twin invariant).
+	ffOnFlush func(core int, k int64)
+
+	// Closed-form accumulator-walk cache (accumulator.go): the float64
+	// trajectory's orbit table, built lazily from the current accumulator.
+	ffOrbit accOrbit
 }
 
 // FFStats reports how much of the run the fast-forward path covered: the
@@ -117,6 +144,16 @@ func (s *System) FFStats() (skips, skippedCycles int64) {
 // alongside FFStats; they are diagnostics, not part of a Result.
 func (s *System) FFGovernorStats() (attempts, disengages int64) {
 	return s.ffAttempts, s.ffDisengages
+}
+
+// FFLagStats reports the decoupled-skip path's activity (DESIGN.md §15):
+// how many lag flushes ran and how many core-cycles were absorbed by lag
+// counters instead of per-cycle Ticks. Like FFGovernorStats these are
+// wall-clock diagnostics (surfaced by cmd/ffbench as `lag_flushes` and
+// `lagged_core_cycles`), deliberately kept out of Result and the canonical
+// RunReport so reports stay identical across fast-forward modes.
+func (s *System) FFLagStats() (lagFlushes, laggedCoreCycles int64) {
+	return s.ffLagFlushes, s.ffLaggedCycles
 }
 
 // NewSystem builds a system running the given per-core workload profiles
@@ -258,6 +295,12 @@ func NewSystem(profiles []workload.Profile, clr core.Config, opts Options) (*Sys
 	s.ffPortAddr = make([]uint64, len(profiles))
 	s.ffPortCh = make([]int, len(profiles))
 	s.ffPortOK = make([]bool, len(profiles))
+	s.ffCanLag = make([]bool, len(profiles))
+	s.ffLagged = make([]bool, len(profiles))
+	s.ffLag = make([]int64, len(profiles))
+	s.ffLagCap = make([]int64, len(profiles))
+	s.ffPortGen = make([]uint64, len(profiles))
+	s.ffRetryAt = make([]int64, len(profiles))
 	s.readers = make([]trace.Reader, len(profiles))
 	for i, p := range profiles {
 		var rd trace.Reader
@@ -374,7 +417,7 @@ func (p *memPort) Load(coreID int, addr uint64, onDone func()) bool {
 	}
 	switch s.llc.Access(global, false, onDone) {
 	case cache.Hit:
-		s.hits.push(hitEvent{due: s.cpuCycle + int64(s.opts.LLC.HitLatency), fn: onDone})
+		s.hits.push(hitEvent{due: s.cpuCycle + int64(s.opts.LLC.HitLatency), core: coreID, fn: onDone})
 		return true
 	case cache.MergedMiss:
 		return true
@@ -414,6 +457,13 @@ func (s *System) sendFetch(coreID int, global uint64) {
 		Addr: line,
 		Core: coreID,
 		OnComplete: func(int64) {
+			// Wake a lagged requester BEFORE the fill runs its MSHR waiters:
+			// loadDone stamps the core's local cycle into the window slot,
+			// so the lag must be applied first (per-core address spaces are
+			// private — every waiter on this line belongs to coreID).
+			if s.ffAnyLag && s.ffLagged[coreID] {
+				s.flushLag(coreID)
+			}
 			if victim, wb := s.llc.Fill(line); wb {
 				s.writeback(victim)
 			}
@@ -557,10 +607,12 @@ func (s *System) bankUtil() float64 {
 	return busy / slots
 }
 
-// hitEvent is a scheduled LLC-hit completion.
+// hitEvent is a scheduled LLC-hit completion. core tags the requester so the
+// decoupled lag path can flush a lagged core before its completion fires.
 type hitEvent struct {
-	due int64
-	fn  func()
+	due  int64
+	core int
+	fn   func()
 }
 
 // hitHeap is a min-heap on due cycle, via container/heap.
